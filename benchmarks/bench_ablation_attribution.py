@@ -1,0 +1,58 @@
+"""Ablation — score attribution: proportional vs last-activator-takes-all.
+
+The paper attributes each preventive action to threads *proportionally* to
+their activation share since the previous action (§4.1), arguing in §5.3
+that this defeats score-manipulation attacks where the adversary hammers a
+shared row almost to the trigger point and lets a benign thread perform the
+final, triggering activation.
+
+This ablation replays exactly that scenario against both attribution rules
+(using the score/suspect components directly, no DRAM simulation needed) and
+shows that only the proportional rule keeps blaming the attacker.
+"""
+
+from conftest import run_once
+
+from repro.core.scores import DualCounterSet
+from repro.core.suspect import SuspectDetector
+
+
+def _run_scenario(proportional: bool, actions: int = 60,
+                  attacker_share: float = 0.9, num_threads: int = 4):
+    """The §5.3 manipulation scenario; returns suspect counts per thread."""
+
+    scores = DualCounterSet(num_threads)
+    detector = SuspectDetector(threat_threshold=4.0, outlier_threshold=0.65)
+    suspect_counts = {t: 0 for t in range(num_threads)}
+    attacker, victim = 3, 0
+    for _ in range(actions):
+        # The attacker performs most activations ...
+        activations = {t: 1 for t in range(num_threads)}
+        activations[attacker] = int(attacker_share * 30)
+        # ... but the *victim* performs the final triggering activation.
+        activations[victim] += 1
+        total = sum(activations.values())
+        if proportional:
+            for thread, count in activations.items():
+                scores.add(thread, count / total)
+        else:
+            scores.add(victim, 1.0)  # last activator takes the whole blame
+        decision = detector.evaluate(scores.scores())
+        for thread in decision.suspects:
+            suspect_counts[thread] += 1
+    return suspect_counts
+
+
+def test_ablation_score_attribution(benchmark, emit):
+    def run_both():
+        return _run_scenario(True), _run_scenario(False)
+
+    proportional, winner_take_all = run_once(benchmark, run_both)
+    print("\nproportional attribution  :", proportional)
+    print("last-activator attribution:", winner_take_all)
+    # Proportional attribution blames the attacker, never the framed victim.
+    assert proportional[3] > 0
+    assert proportional[0] == 0
+    # The naive rule is manipulable: the benign victim gets framed.
+    assert winner_take_all[0] > 0
+    assert winner_take_all[3] == 0

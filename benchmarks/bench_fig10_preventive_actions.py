@@ -1,0 +1,22 @@
+"""Figure 10 — RowHammer-preventive action counts vs N_RH.
+
+For each mechanism (REGA excluded, as in the paper's footnote 10), the
+number of preventive actions performed with and without BreakHammer,
+normalised to the mechanism alone at the largest N_RH.  The paper reports
+that actions grow as N_RH shrinks and that BreakHammer removes 71.6% of them
+on average.
+"""
+
+from conftest import run_once
+
+
+def test_fig10_preventive_actions(benchmark, runner, emit):
+    figure = run_once(benchmark, runner.figure10)
+    emit(figure)
+    assert not any(label.startswith("rega") for label in figure.series)
+    for mechanism in runner.config.mechanisms:
+        if mechanism == "rega":
+            continue
+        base = figure.get(mechanism).values
+        # Preventive actions are non-decreasing as N_RH shrinks.
+        assert base[-1] >= base[0] - 1e-6

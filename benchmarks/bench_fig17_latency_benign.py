@@ -1,0 +1,17 @@
+"""Figure 17 — all-benign memory latency percentiles (low N_RH).
+
+The paper observes BreakHammer induces no latency overhead for benign-only
+workloads at any percentile.
+"""
+
+from conftest import run_once
+
+
+def test_fig17_latency_benign(benchmark, runner, emit):
+    figure = run_once(benchmark, runner.figure17)
+    emit(figure)
+    for mechanism in runner.config.mechanisms:
+        base = figure.get(mechanism).values
+        paired = figure.get(f"{mechanism}+BH").values
+        # Median benign latency must not be degraded beyond noise.
+        assert paired[0] <= base[0] * 1.15 + 5

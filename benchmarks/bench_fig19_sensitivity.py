@@ -1,0 +1,26 @@
+"""Figure 19 — sensitivity to TH_threat.
+
+Weighted speedup for three TH_threat settings (scaled analogues of the
+paper's 32 / 512 / 4096 sweep), normalised to the largest threshold, under
+attack and with all-benign workloads at three N_RH points.  The paper picks
+the smallest threshold because it maximises the benefit under attack while
+staying near-neutral for benign workloads.
+"""
+
+from conftest import run_once
+
+
+def test_fig19_th_threat_sensitivity(benchmark, runner, emit):
+    figure = run_once(benchmark, runner.figure19)
+    emit(figure)
+    attack_series = [s for name, s in figure.series.items()
+                     if name.startswith("attack")]
+    benign_series = [s for name, s in figure.series.items()
+                     if name.startswith("benign")]
+    assert attack_series and benign_series
+    # Under attack, a lower (more aggressive) threshold never hurts much.
+    for series in attack_series:
+        assert series.values[0] >= series.values[-1] * 0.9
+    # For benign workloads every threshold stays close to neutral.
+    for series in benign_series:
+        assert all(0.8 <= v <= 1.25 for v in series.values)

@@ -1,0 +1,20 @@
+"""Headline numbers — the abstract's average-improvement claims.
+
+The paper's abstract: with an attacker present, BreakHammer improves benign
+performance by 90.1% and reduces DRAM energy by 55.7% on average, and §8.1
+reports a 71.6% average reduction in preventive actions.  This benchmark
+recomputes the same three aggregates at the harness's scale and checks their
+directions.
+"""
+
+from conftest import run_once
+
+
+def test_headline_numbers(benchmark, runner, emit):
+    numbers = run_once(benchmark, runner.headline_numbers)
+    print("\nheadline aggregates (attacker present, lowest N_RH):")
+    for key, value in numbers.items():
+        print(f"  {key}: {value:.3f}")
+    assert numbers["mean_benign_speedup"] > 1.0
+    assert numbers["mean_energy_ratio"] <= 1.05
+    assert numbers["mean_preventive_action_ratio"] <= 1.1

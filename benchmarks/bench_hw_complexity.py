@@ -1,0 +1,16 @@
+"""§6 — hardware complexity: storage, area, and latency of BreakHammer."""
+
+import pytest
+
+from conftest import run_once
+
+
+def test_hardware_complexity(benchmark, runner, emit):
+    table = run_once(benchmark, runner.hardware_complexity)
+    emit(table)
+    values = {row["quantity"]: row["value"] for row in table.rows}
+    assert values["bits_per_thread"] == 82
+    assert values["area_mm2_per_channel"] == pytest.approx(0.000105, rel=1e-6)
+    assert values["xeon_area_fraction"] < 1e-5
+    assert values["decision_latency_ns"] == pytest.approx(0.667, abs=0.01)
+    assert values["fits_under_trrd"] is True

@@ -1,0 +1,15 @@
+"""Table 1 — simulated system configuration."""
+
+from conftest import run_once
+
+
+def test_table1_system_configuration(benchmark, runner, emit):
+    table = run_once(benchmark, runner.table1)
+    emit(table)
+    components = dict(zip(table.column("component"), table.column("parameters")))
+    assert components["processor"]["cores"] == 4
+    assert components["processor"]["issue_width"] == 4
+    assert components["processor"]["instruction_window"] == 128
+    assert components["memory_controller"]["scheduler"] == "frfcfs_cap"
+    assert components["memory_controller"]["cap"] == 4
+    assert components["dram"]["banks_total"] == 32

@@ -1,0 +1,14 @@
+"""Table 2 — BreakHammer configuration (paper values vs scaled values)."""
+
+from conftest import run_once
+
+
+def test_table2_breakhammer_configuration(benchmark, runner, emit):
+    table = run_once(benchmark, runner.table2)
+    emit(table)
+    rows = {row["parameter"]: row for row in table.rows}
+    assert rows["TH_window_ms"]["paper_value"] == 64.0
+    assert rows["TH_threat"]["paper_value"] == 32.0
+    assert rows["TH_outlier"]["paper_value"] == 0.65
+    assert rows["P_oldsuspect"]["paper_value"] == 1
+    assert rows["P_newsuspect"]["paper_value"] == 10

@@ -1,0 +1,19 @@
+"""Table 3 — workload characteristics (RBMPKI and hot-row counts).
+
+Characterises the synthetic workload suite the way the paper characterises
+its trace suite, and prints the paper's reference rows alongside.
+"""
+
+from conftest import run_once
+
+
+def test_table3_workload_characteristics(benchmark, runner, emit):
+    table = run_once(benchmark, runner.table3)
+    emit(table)
+    emit(runner.paper_table3())
+    assert table.rows[-1]["Workload"] == "Average"
+    rbmpkis = [row["RBMPKI"] for row in table.rows[:-1]]
+    assert rbmpkis == sorted(rbmpkis, reverse=True)
+    # The attacker trace shows up with concentrated hot rows.
+    attacker_rows = [r for r in table.rows if "attacker" in str(r["Workload"])]
+    assert attacker_rows and attacker_rows[0]["ACT-128+"] >= 8

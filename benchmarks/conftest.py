@@ -1,0 +1,81 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures through the
+:class:`repro.analysis.experiments.ExperimentRunner`.  A single
+session-scoped runner is shared by all benchmarks so that simulations common
+to several figures (e.g. the N_RH sweep behind Figs. 8, 9, 10 and 12) are
+executed only once and memoised.
+
+Scale is controlled by the ``REPRO_BENCH_PROFILE`` environment variable:
+
+* ``fast`` (default) — the reduced sweep described in DESIGN.md §6,
+* ``full``           — the paper's full 7-point N_RH sweep and all six mixes
+  (expect a long run),
+* ``smoke``          — minimal, for checking the harness itself.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.analysis.experiments import ExperimentRunner, HarnessConfig  # noqa: E402
+from repro.analysis.report import render_figure, render_table  # noqa: E402
+
+
+def _profile() -> HarnessConfig:
+    name = os.environ.get("REPRO_BENCH_PROFILE", "fast").lower()
+    if name == "full":
+        return HarnessConfig()
+    if name == "smoke":
+        return HarnessConfig.smoke()
+    return HarnessConfig.fast()
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    return ExperimentRunner(_profile())
+
+
+_RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Print a reproduced figure/table and persist it under benchmarks/results/.
+
+    The printed form appears in the pytest output when run with ``-s``; the
+    persisted text file survives regardless of output capturing, so a plain
+    ``pytest benchmarks/ --benchmark-only`` still leaves every reproduced
+    series on disk.
+    """
+
+    _RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _emit(artifact) -> None:
+        if hasattr(artifact, "series"):
+            text = render_figure(artifact)
+            name = artifact.figure_id
+        else:
+            text = render_table(artifact)
+            name = artifact.table_id
+        print()
+        print(text)
+        (_RESULTS_DIR / f"{name}.txt").write_text(text + "\n",
+                                                  encoding="utf-8")
+
+    return _emit
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark timing."""
+
+    return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

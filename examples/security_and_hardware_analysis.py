@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Scenario: pre-silicon analysis — is BreakHammer safe and cheap to add?
+
+Before committing BreakHammer to a memory-controller design, an architect
+wants to know (1) how much a coordinated multi-threaded adversary could still
+hog preventive actions without being detected (paper §5.2 / Fig. 5) and
+(2) what the mechanism costs in storage, area, and latency (paper §6).
+
+Both analyses are closed-form, so this example runs instantly.
+
+Run with:  python examples/security_and_hardware_analysis.py
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import SecurityAnalysis, max_attacker_score_ratio
+from repro.core.hardware_model import HardwareCostModel
+from repro.dram.config import DeviceConfig
+
+
+def security_section() -> None:
+    print("=== Security: the Expression-2 bound (Fig. 5) ===\n")
+    analysis = SecurityAnalysis()
+    percentages = list(range(0, 101, 10))
+    print("max undetected attacker score / benign average score")
+    print(f"{'attacker threads':>18s}", end="")
+    for th in (0.05, 0.35, 0.65, 0.95):
+        print(f"  TH={th:4.2f}", end="")
+    print()
+    for pct in percentages:
+        print(f"{pct:17d}%", end="")
+        for th in (0.05, 0.35, 0.65, 0.95):
+            ratio = max_attacker_score_ratio(pct / 100.0, th)
+            text = "  inf  " if ratio == float("inf") else f"{ratio:7.2f}"
+            print(text, end="")
+        print()
+    print("\nPaper observations reproduced exactly:")
+    print(f"  50% threads, TH_outlier=0.65 -> "
+          f"{analysis.paper_observation_50pct():.2f}x (paper: 4.71x)")
+    print(f"  90% threads, TH_outlier=0.05 -> "
+          f"{analysis.paper_observation_90pct():.2f}x (paper: 1.90x)")
+    share = analysis.minimum_attacker_share_for_ratio(2.0, 0.05)
+    print(f"  threads needed to double benign action count at TH=0.05: "
+          f"{100 * share:.0f}% (paper: ~90%)")
+
+
+def hardware_section() -> None:
+    print("\n=== Hardware cost (§6) ===\n")
+    for threads, channels in ((4, 1), (16, 2), (64, 8)):
+        model = HardwareCostModel(num_threads=threads, channels=channels,
+                                  device_config=DeviceConfig.ddr5_4800())
+        report = model.report()
+        print(f"{threads:3d} threads x {channels} channels: "
+              f"{report.total_bits:5d} bits, "
+              f"{report.area_mm2_total:.6f} mm² "
+              f"({100 * report.xeon_area_fraction:.5f}% of a Xeon die), "
+              f"decision latency {report.decision_latency_ns:.2f} ns "
+              f"(tRRD {report.trrd_ns:.1f} ns, "
+              f"{'OK' if report.fits_under_trrd else 'TOO SLOW'})")
+
+
+def main() -> None:
+    security_section()
+    hardware_section()
+
+
+if __name__ == "__main__":
+    main()

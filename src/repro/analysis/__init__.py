@@ -1,0 +1,28 @@
+"""Experiment harness and reporting utilities."""
+
+from repro.analysis.experiments import ExperimentRunner, HarnessConfig
+from repro.analysis.figures import (
+    ComparisonEntry,
+    FigureData,
+    FigureSeries,
+    TableData,
+)
+from repro.analysis.report import (
+    figure_summary,
+    render_comparisons,
+    render_figure,
+    render_table,
+)
+
+__all__ = [
+    "ComparisonEntry",
+    "ExperimentRunner",
+    "FigureData",
+    "FigureSeries",
+    "HarnessConfig",
+    "TableData",
+    "figure_summary",
+    "render_comparisons",
+    "render_figure",
+    "render_table",
+]

@@ -1,0 +1,806 @@
+"""Experiment harness: one entry point per paper figure/table.
+
+:class:`ExperimentRunner` owns a simulation-scale profile (cycles per run,
+workload sizes, the N_RH sweep), memoises simulation runs and standalone-IPC
+baselines, and exposes ``figure2()`` … ``figure19()``, ``table1()`` …
+``table3()`` and ``hardware_complexity()`` methods that return
+:class:`repro.analysis.figures.FigureData` / ``TableData`` objects shaped
+like the paper's artefacts.
+
+Scale
+-----
+Runs are deliberately short (tens of thousands of controller cycles) so that
+the whole harness finishes in minutes of pure Python; the paper's qualitative
+structure — which mechanism wins, how trends move with N_RH, where
+BreakHammer helps and where it cannot — is preserved.  See DESIGN.md §2 and
+EXPERIMENTS.md for the paper-vs-measured record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.figures import FigureData, TableData
+from repro.core.hardware_model import HardwareCostModel
+from repro.core.security import SecurityAnalysis
+from repro.cpu.trace import Trace
+from repro.mitigations.registry import (
+    MOTIVATION_MECHANISMS,
+    PAIRED_MECHANISMS,
+)
+from repro.sim.config import SimulationConfig, SystemConfig
+from repro.sim.metrics import geometric_mean, max_slowdown, weighted_speedup
+from repro.sim.simulator import SimulationResult, Simulator
+from repro.sim.stats import RunStatistics
+from repro.workloads.attacker import AttackerConfig
+from repro.workloads.characteristics import (
+    PAPER_TABLE3,
+    average_row,
+    characterize_suite,
+)
+from repro.workloads.mixes import (
+    ATTACK_MIXES,
+    BENIGN_MIXES,
+    WorkloadMix,
+    make_mix,
+)
+
+
+@dataclass(frozen=True)
+class HarnessConfig:
+    """Scale knobs of the experiment harness."""
+
+    sim_cycles: int = 25_000
+    entries_per_core: int = 8_000
+    attacker_entries: int = 12_000
+    nrh_default: int = 1024
+    nrh_low: int = 64
+    nrh_sweep: Tuple[int, ...] = (4096, 2048, 1024, 512, 256, 128, 64)
+    attack_mixes: Tuple[str, ...] = tuple(ATTACK_MIXES)
+    benign_mixes: Tuple[str, ...] = tuple(BENIGN_MIXES)
+    mechanisms: Tuple[str, ...] = tuple(PAIRED_MECHANISMS)
+    seeds: Tuple[int, ...] = (0,)
+    threat_threshold: float = 4.0
+    outlier_threshold: float = 0.65
+
+    @classmethod
+    def fast(cls) -> "HarnessConfig":
+        """A profile small enough for CI and the pytest benchmarks."""
+
+        return cls(
+            sim_cycles=12_000,
+            entries_per_core=4_000,
+            attacker_entries=6_000,
+            nrh_sweep=(4096, 1024, 256, 64),
+            attack_mixes=("HHMA", "MMLA"),
+            benign_mixes=("HHMM", "MMLL"),
+            mechanisms=tuple(PAIRED_MECHANISMS),
+            seeds=(0,),
+        )
+
+    @classmethod
+    def smoke(cls) -> "HarnessConfig":
+        """The smallest useful profile (unit/integration tests)."""
+
+        return cls(
+            sim_cycles=6_000,
+            entries_per_core=2_000,
+            attacker_entries=3_000,
+            nrh_sweep=(1024, 64),
+            attack_mixes=("MMLA",),
+            benign_mixes=("MMLL",),
+            mechanisms=("para", "graphene", "rfm"),
+            seeds=(0,),
+        )
+
+
+RunKey = Tuple[str, int, str, int, bool]
+
+
+class ExperimentRunner:
+    """Runs and memoises the simulations behind every figure."""
+
+    def __init__(self, config: Optional[HarnessConfig] = None) -> None:
+        self.config = config or HarnessConfig()
+        self._mix_cache: Dict[Tuple[str, int], WorkloadMix] = {}
+        self._run_cache: Dict[RunKey, RunStatistics] = {}
+        self._alone_ipc_cache: Dict[str, float] = {}
+        self._base_system = SystemConfig.fast_profile(
+            sim_cycles=self.config.sim_cycles,
+            threat_threshold=self.config.threat_threshold,
+            outlier_threshold=self.config.outlier_threshold,
+        )
+        self.runs_executed = 0
+
+    # ------------------------------------------------------------------ #
+    # Building blocks
+    # ------------------------------------------------------------------ #
+    def system_config(self, mechanism: str, nrh: int,
+                      breakhammer: bool) -> SystemConfig:
+        return self._base_system.with_(
+            mitigation=mechanism,
+            nrh=nrh,
+            breakhammer_enabled=breakhammer,
+        )
+
+    def mix(self, name: str, seed: int = 0) -> WorkloadMix:
+        key = (name, seed)
+        if key not in self._mix_cache:
+            self._mix_cache[key] = make_mix(
+                name,
+                device=self._base_system.device,
+                mapping=self._base_system.mapping,
+                entries_per_core=self.config.entries_per_core,
+                attacker_entries=self.config.attacker_entries,
+                seed=seed,
+                attacker_config=AttackerConfig(
+                    entries=self.config.attacker_entries, seed=seed
+                ),
+            )
+        return self._mix_cache[key]
+
+    def run(self, mix_name: str, mechanism: str, nrh: int,
+            breakhammer: bool, seed: int = 0) -> RunStatistics:
+        """Run (or fetch from cache) one simulation."""
+
+        key: RunKey = (mix_name, seed, mechanism, nrh, breakhammer)
+        if key in self._run_cache:
+            return self._run_cache[key]
+        mix = self.mix(mix_name, seed)
+        simulator = Simulator(
+            self.system_config(mechanism, nrh, breakhammer),
+            mix.traces,
+            SimulationConfig(max_cycles=self.config.sim_cycles),
+            attacker_threads=mix.attacker_threads,
+        )
+        result = simulator.run()
+        self.runs_executed += 1
+        self._run_cache[key] = result.stats
+        return result.stats
+
+    def alone_ipc(self, trace: Trace) -> float:
+        """Standalone IPC of one trace on a single-core, no-mitigation system."""
+
+        if trace.name in self._alone_ipc_cache:
+            return self._alone_ipc_cache[trace.name]
+        config = self._base_system.with_(
+            num_cores=1, mitigation="none", breakhammer_enabled=False
+        )
+        simulator = Simulator(
+            config, [trace], SimulationConfig(max_cycles=self.config.sim_cycles)
+        )
+        result = simulator.run()
+        ipc = max(1e-6, result.stats.ipc_of(0))
+        self._alone_ipc_cache[trace.name] = ipc
+        return ipc
+
+    # ------------------------------------------------------------------ #
+    # Metrics over runs
+    # ------------------------------------------------------------------ #
+    def _alone_ipcs(self, mix: WorkloadMix) -> Dict[int, float]:
+        return {
+            idx: self.alone_ipc(trace) for idx, trace in enumerate(mix.traces)
+        }
+
+    def benign_weighted_speedup(self, stats: RunStatistics,
+                                mix: WorkloadMix) -> float:
+        alone = self._alone_ipcs(mix)
+        return weighted_speedup(stats.ipc_by_thread, alone,
+                                include=mix.benign_threads)
+
+    def benign_max_slowdown(self, stats: RunStatistics,
+                            mix: WorkloadMix) -> float:
+        alone = self._alone_ipcs(mix)
+        return max_slowdown(stats.ipc_by_thread, alone,
+                            include=mix.benign_threads)
+
+    def _ratio_series(self, values: Dict[str, float],
+                      baselines: Dict[str, float]) -> List[float]:
+        return [
+            values[name] / max(1e-9, baselines[name]) for name in values
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Figure 2 — motivation: mitigation overhead vs N_RH (benign mixes)
+    # ------------------------------------------------------------------ #
+    def figure2(self, mechanisms: Optional[Sequence[str]] = None,
+                mixes: Optional[Sequence[str]] = None) -> FigureData:
+        mechanisms = list(mechanisms or MOTIVATION_MECHANISMS)
+        mixes = list(mixes or self.config.benign_mixes)
+        sweep = list(self.config.nrh_sweep)
+        figure = FigureData(
+            figure_id="fig2",
+            title="System performance of RowHammer mitigations vs N_RH "
+                  "(benign workloads, normalised to no mitigation)",
+            x_label="nrh",
+            y_label="normalized_weighted_speedup",
+            x_values=sweep,
+        )
+        baseline_ws: Dict[str, float] = {}
+        for mix_name in mixes:
+            mix = self.mix(mix_name)
+            stats = self.run(mix_name, "none", self.config.nrh_default, False)
+            baseline_ws[mix_name] = self.benign_weighted_speedup(stats, mix)
+        for mechanism in mechanisms:
+            values = []
+            for nrh in sweep:
+                ratios = []
+                for mix_name in mixes:
+                    mix = self.mix(mix_name)
+                    stats = self.run(mix_name, mechanism, nrh, False)
+                    ws = self.benign_weighted_speedup(stats, mix)
+                    ratios.append(ws / max(1e-9, baseline_ws[mix_name]))
+                values.append(geometric_mean(ratios))
+            figure.add_series(mechanism, values)
+        return figure
+
+    # ------------------------------------------------------------------ #
+    # Figure 5 — analytical security bound
+    # ------------------------------------------------------------------ #
+    def figure5(self, attacker_percentages: Sequence[int] = tuple(range(0, 101, 10)),
+                cap: float = 10.0) -> FigureData:
+        analysis = SecurityAnalysis()
+        figure = FigureData(
+            figure_id="fig5",
+            title="Maximum undetected attacker score vs attacker-thread share",
+            x_label="attacker_thread_percentage",
+            y_label="max_attacker_score_over_benign_avg",
+            x_values=list(attacker_percentages),
+        )
+        for th, values in analysis.figure5(attacker_percentages, cap).items():
+            figure.add_series(f"TH_outlier={th:.2f}", values)
+        return figure
+
+    # ------------------------------------------------------------------ #
+    # Figures 6/7 — per-mix performance and unfairness under attack
+    # ------------------------------------------------------------------ #
+    def _per_mix_ratio(self, metric: str, nrh: int,
+                       mixes: Sequence[str],
+                       mechanisms: Sequence[str]) -> FigureData:
+        is_perf = metric == "weighted_speedup"
+        figure = FigureData(
+            figure_id="fig6" if is_perf else "fig7",
+            title=(
+                "Benign weighted speedup with BreakHammer, normalised to the "
+                "mechanism alone" if is_perf else
+                "Benign unfairness (max slowdown) with BreakHammer, "
+                "normalised to the mechanism alone"
+            ),
+            x_label="mix",
+            y_label="normalized_" + metric,
+            x_values=list(mixes) + ["geomean"],
+        )
+        for mechanism in mechanisms:
+            ratios = []
+            for mix_name in mixes:
+                mix = self.mix(mix_name)
+                base = self.run(mix_name, mechanism, nrh, False)
+                with_bh = self.run(mix_name, mechanism, nrh, True)
+                if is_perf:
+                    value = self.benign_weighted_speedup(with_bh, mix)
+                    baseline = self.benign_weighted_speedup(base, mix)
+                else:
+                    value = self.benign_max_slowdown(with_bh, mix)
+                    baseline = self.benign_max_slowdown(base, mix)
+                ratios.append(value / max(1e-9, baseline))
+            ratios.append(geometric_mean([max(1e-9, r) for r in ratios]))
+            figure.add_series(f"{mechanism}+BH", ratios)
+        return figure
+
+    def figure6(self, nrh: Optional[int] = None,
+                mixes: Optional[Sequence[str]] = None,
+                mechanisms: Optional[Sequence[str]] = None) -> FigureData:
+        return self._per_mix_ratio(
+            "weighted_speedup",
+            nrh or self.config.nrh_default,
+            list(mixes or self.config.attack_mixes),
+            list(mechanisms or self.config.mechanisms),
+        )
+
+    def figure7(self, nrh: Optional[int] = None,
+                mixes: Optional[Sequence[str]] = None,
+                mechanisms: Optional[Sequence[str]] = None) -> FigureData:
+        return self._per_mix_ratio(
+            "max_slowdown",
+            nrh or self.config.nrh_default,
+            list(mixes or self.config.attack_mixes),
+            list(mechanisms or self.config.mechanisms),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Figures 8/9 — scaling with N_RH under attack
+    # ------------------------------------------------------------------ #
+    def _nrh_scaling(self, figure_id: str, metric: str, with_attacker: bool,
+                     include_baseline_series: bool,
+                     mechanisms: Sequence[str],
+                     mixes: Sequence[str]) -> FigureData:
+        sweep = list(self.config.nrh_sweep)
+        is_perf = metric == "weighted_speedup"
+        figure = FigureData(
+            figure_id=figure_id,
+            title=f"{metric} vs N_RH "
+                  f"({'attacker present' if with_attacker else 'all benign'}, "
+                  "normalised to no mitigation)",
+            x_label="nrh",
+            y_label="normalized_" + metric,
+            x_values=sweep,
+        )
+        # No-mitigation baseline per mix (independent of N_RH).
+        baseline: Dict[str, float] = {}
+        for mix_name in mixes:
+            mix = self.mix(mix_name)
+            stats = self.run(mix_name, "none", self.config.nrh_default, False)
+            baseline[mix_name] = (
+                self.benign_weighted_speedup(stats, mix)
+                if is_perf else self.benign_max_slowdown(stats, mix)
+            )
+
+        def series_for(mechanism: str, breakhammer: bool) -> List[float]:
+            values = []
+            for nrh in sweep:
+                ratios = []
+                for mix_name in mixes:
+                    mix = self.mix(mix_name)
+                    stats = self.run(mix_name, mechanism, nrh, breakhammer)
+                    value = (
+                        self.benign_weighted_speedup(stats, mix)
+                        if is_perf else self.benign_max_slowdown(stats, mix)
+                    )
+                    ratios.append(value / max(1e-9, baseline[mix_name]))
+                values.append(geometric_mean([max(1e-9, r) for r in ratios]))
+            return values
+
+        for mechanism in mechanisms:
+            if include_baseline_series:
+                figure.add_series(mechanism, series_for(mechanism, False))
+            figure.add_series(f"{mechanism}+BH", series_for(mechanism, True))
+        return figure
+
+    def figure8(self, mechanisms: Optional[Sequence[str]] = None,
+                mixes: Optional[Sequence[str]] = None) -> FigureData:
+        return self._nrh_scaling(
+            "fig8", "weighted_speedup", True, True,
+            list(mechanisms or self.config.mechanisms),
+            list(mixes or self.config.attack_mixes),
+        )
+
+    def figure9(self, mechanisms: Optional[Sequence[str]] = None,
+                mixes: Optional[Sequence[str]] = None) -> FigureData:
+        return self._nrh_scaling(
+            "fig9", "max_slowdown", True, False,
+            list(mechanisms or self.config.mechanisms),
+            list(mixes or self.config.attack_mixes),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Figure 10 — preventive-action counts
+    # ------------------------------------------------------------------ #
+    def figure10(self, mechanisms: Optional[Sequence[str]] = None,
+                 mixes: Optional[Sequence[str]] = None) -> FigureData:
+        mechanisms = [
+            m for m in (mechanisms or self.config.mechanisms) if m != "rega"
+        ]
+        mixes = list(mixes or self.config.attack_mixes)
+        sweep = list(self.config.nrh_sweep)
+        figure = FigureData(
+            figure_id="fig10",
+            title="RowHammer-preventive actions vs N_RH (attacker present, "
+                  "normalised to the mechanism alone at the largest N_RH)",
+            x_label="nrh",
+            y_label="normalized_preventive_actions",
+            x_values=sweep,
+        )
+
+        def mean_actions(mechanism: str, nrh: int, bh: bool) -> float:
+            counts = []
+            for mix_name in mixes:
+                stats = self.run(mix_name, mechanism, nrh, bh)
+                counts.append(stats.preventive_actions)
+            return sum(counts) / len(counts)
+
+        for mechanism in mechanisms:
+            reference = max(1.0, mean_actions(mechanism, sweep[0], False))
+            base_series = [
+                mean_actions(mechanism, nrh, False) / reference for nrh in sweep
+            ]
+            bh_series = [
+                mean_actions(mechanism, nrh, True) / reference for nrh in sweep
+            ]
+            figure.add_series(mechanism, base_series)
+            figure.add_series(f"{mechanism}+BH", bh_series)
+        return figure
+
+    # ------------------------------------------------------------------ #
+    # Figures 11/17 — memory latency percentiles
+    # ------------------------------------------------------------------ #
+    def latency_percentile_figure(self, with_attacker: bool,
+                                  nrh: Optional[int] = None,
+                                  mechanisms: Optional[Sequence[str]] = None,
+                                  mixes: Optional[Sequence[str]] = None,
+                                  points: Sequence[int] = (50, 75, 90, 95, 99, 100),
+                                  ) -> FigureData:
+        nrh = nrh or self.config.nrh_low
+        mechanisms = list(mechanisms or self.config.mechanisms)
+        mixes = list(
+            mixes or (
+                self.config.attack_mixes if with_attacker
+                else self.config.benign_mixes
+            )
+        )
+        figure = FigureData(
+            figure_id="fig11" if with_attacker else "fig17",
+            title="Benign memory latency percentiles at low N_RH "
+                  f"({'attacker present' if with_attacker else 'all benign'})",
+            x_label="percentile",
+            y_label="latency_cycles",
+            x_values=list(points),
+        )
+
+        def curve(mechanism: str, bh: bool) -> List[float]:
+            per_point: List[List[float]] = [[] for _ in points]
+            for mix_name in mixes:
+                mix = self.mix(mix_name)
+                stats = self.run(mix_name, mechanism, nrh, bh)
+                pcts = stats.latency_curve(mix.benign_threads, points=tuple(points))
+                for idx, p in enumerate(points):
+                    per_point[idx].append(pcts[p])
+            return [sum(vals) / len(vals) if vals else 0.0 for vals in per_point]
+
+        figure.add_series("no_defense", curve("none", False))
+        for mechanism in mechanisms:
+            figure.add_series(mechanism, curve(mechanism, False))
+            figure.add_series(f"{mechanism}+BH", curve(mechanism, True))
+        return figure
+
+    def figure11(self, **kwargs) -> FigureData:
+        return self.latency_percentile_figure(True, **kwargs)
+
+    def figure17(self, **kwargs) -> FigureData:
+        return self.latency_percentile_figure(False, **kwargs)
+
+    # ------------------------------------------------------------------ #
+    # Figure 12 — DRAM energy
+    # ------------------------------------------------------------------ #
+    def figure12(self, mechanisms: Optional[Sequence[str]] = None,
+                 mixes: Optional[Sequence[str]] = None) -> FigureData:
+        mechanisms = list(mechanisms or self.config.mechanisms)
+        mixes = list(mixes or self.config.attack_mixes)
+        sweep = list(self.config.nrh_sweep)
+        figure = FigureData(
+            figure_id="fig12",
+            title="DRAM energy vs N_RH (attacker present, normalised to "
+                  "no mitigation)",
+            x_label="nrh",
+            y_label="normalized_dram_energy",
+            x_values=sweep,
+        )
+        baseline: Dict[str, float] = {}
+        for mix_name in mixes:
+            stats = self.run(mix_name, "none", self.config.nrh_default, False)
+            baseline[mix_name] = max(1e-9, stats.energy_mj)
+
+        def series(mechanism: str, bh: bool) -> List[float]:
+            values = []
+            for nrh in sweep:
+                ratios = []
+                for mix_name in mixes:
+                    stats = self.run(mix_name, mechanism, nrh, bh)
+                    ratios.append(stats.energy_mj / baseline[mix_name])
+                values.append(sum(ratios) / len(ratios))
+            return values
+
+        for mechanism in mechanisms:
+            figure.add_series(mechanism, series(mechanism, False))
+            figure.add_series(f"{mechanism}+BH", series(mechanism, True))
+        return figure
+
+    # ------------------------------------------------------------------ #
+    # Figures 13-16 — all-benign studies
+    # ------------------------------------------------------------------ #
+    def figure13(self, nrh: Optional[int] = None,
+                 mixes: Optional[Sequence[str]] = None,
+                 mechanisms: Optional[Sequence[str]] = None) -> FigureData:
+        figure = self._per_mix_ratio(
+            "weighted_speedup",
+            nrh or self.config.nrh_low,
+            list(mixes or self.config.benign_mixes),
+            list(mechanisms or self.config.mechanisms),
+        )
+        figure.figure_id = "fig13"
+        figure.title = ("Benign-only weighted speedup with BreakHammer, "
+                        "normalised to the mechanism alone")
+        return figure
+
+    def figure14(self, nrh: Optional[int] = None,
+                 mixes: Optional[Sequence[str]] = None,
+                 mechanisms: Optional[Sequence[str]] = None) -> FigureData:
+        figure = self._per_mix_ratio(
+            "max_slowdown",
+            nrh or self.config.nrh_default,
+            list(mixes or self.config.benign_mixes),
+            list(mechanisms or self.config.mechanisms),
+        )
+        figure.figure_id = "fig14"
+        figure.title = ("Benign-only unfairness with BreakHammer, normalised "
+                        "to the mechanism alone")
+        return figure
+
+    def _benign_scaling(self, figure_id: str, metric: str,
+                        mechanisms: Sequence[str],
+                        mixes: Sequence[str]) -> FigureData:
+        sweep = list(self.config.nrh_sweep)
+        is_perf = metric == "weighted_speedup"
+        figure = FigureData(
+            figure_id=figure_id,
+            title=f"All-benign {metric} of mechanism+BH normalised to the "
+                  "mechanism alone, vs N_RH",
+            x_label="nrh",
+            y_label="normalized_" + metric,
+            x_values=sweep,
+        )
+        for mechanism in mechanisms:
+            values = []
+            for nrh in sweep:
+                ratios = []
+                for mix_name in mixes:
+                    mix = self.mix(mix_name)
+                    base = self.run(mix_name, mechanism, nrh, False)
+                    with_bh = self.run(mix_name, mechanism, nrh, True)
+                    if is_perf:
+                        value = self.benign_weighted_speedup(with_bh, mix)
+                        baseline = self.benign_weighted_speedup(base, mix)
+                    else:
+                        value = self.benign_max_slowdown(with_bh, mix)
+                        baseline = self.benign_max_slowdown(base, mix)
+                    ratios.append(value / max(1e-9, baseline))
+                values.append(geometric_mean([max(1e-9, r) for r in ratios]))
+            figure.add_series(f"{mechanism}+BH", values)
+        return figure
+
+    def figure15(self, mechanisms: Optional[Sequence[str]] = None,
+                 mixes: Optional[Sequence[str]] = None) -> FigureData:
+        return self._benign_scaling(
+            "fig15", "weighted_speedup",
+            list(mechanisms or self.config.mechanisms),
+            list(mixes or self.config.benign_mixes),
+        )
+
+    def figure16(self, mechanisms: Optional[Sequence[str]] = None,
+                 mixes: Optional[Sequence[str]] = None) -> FigureData:
+        return self._benign_scaling(
+            "fig16", "max_slowdown",
+            list(mechanisms or self.config.mechanisms),
+            list(mixes or self.config.benign_mixes),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Figure 18 — comparison with BlockHammer
+    # ------------------------------------------------------------------ #
+    def figure18(self, mechanisms: Optional[Sequence[str]] = None,
+                 mixes: Optional[Sequence[str]] = None) -> FigureData:
+        mechanisms = list(mechanisms or self.config.mechanisms)
+        mixes = list(mixes or self.config.attack_mixes)
+        sweep = list(self.config.nrh_sweep)
+        figure = FigureData(
+            figure_id="fig18",
+            title="BreakHammer-paired mechanisms vs BlockHammer "
+                  "(attacker present, normalised to no mitigation)",
+            x_label="nrh",
+            y_label="normalized_weighted_speedup",
+            x_values=sweep,
+        )
+        baseline: Dict[str, float] = {}
+        for mix_name in mixes:
+            mix = self.mix(mix_name)
+            stats = self.run(mix_name, "none", self.config.nrh_default, False)
+            baseline[mix_name] = self.benign_weighted_speedup(stats, mix)
+
+        def series(mechanism: str, bh: bool) -> List[float]:
+            values = []
+            for nrh in sweep:
+                ratios = []
+                for mix_name in mixes:
+                    mix = self.mix(mix_name)
+                    stats = self.run(mix_name, mechanism, nrh, bh)
+                    ws = self.benign_weighted_speedup(stats, mix)
+                    ratios.append(ws / max(1e-9, baseline[mix_name]))
+                values.append(geometric_mean([max(1e-9, r) for r in ratios]))
+            return values
+
+        for mechanism in mechanisms:
+            figure.add_series(f"{mechanism}+BH", series(mechanism, True))
+        figure.add_series("blockhammer", series("blockhammer", False))
+        return figure
+
+    # ------------------------------------------------------------------ #
+    # Figure 19 — sensitivity to TH_threat
+    # ------------------------------------------------------------------ #
+    def figure19(self, threat_thresholds: Sequence[float] = (2.0, 8.0, 32.0),
+                 nrh_values: Optional[Sequence[int]] = None,
+                 mechanism: str = "graphene") -> FigureData:
+        """Sensitivity of the BreakHammer benefit to ``TH_threat``.
+
+        The paper sweeps 32 / 512 / 4096 over 64 ms windows; the scaled
+        equivalents here keep the same ratios over the shortened windows.
+        Values are weighted speedup normalised to the *largest* threshold
+        (the least aggressive configuration), as in the paper.
+        """
+
+        nrh_values = list(nrh_values or (self.config.nrh_sweep[0],
+                                         self.config.nrh_default,
+                                         self.config.nrh_low))
+        thresholds = list(threat_thresholds)
+        figure = FigureData(
+            figure_id="fig19",
+            title="Sensitivity to TH_threat (weighted speedup normalised to "
+                  "the largest threshold)",
+            x_label="th_threat",
+            y_label="normalized_weighted_speedup",
+            x_values=thresholds,
+        )
+
+        def ws_for(mix_name: str, nrh: int, threshold: float) -> float:
+            mix = self.mix(mix_name)
+            config = self._base_system.with_(
+                mitigation=mechanism, nrh=nrh, breakhammer_enabled=True,
+                breakhammer=self._base_system.breakhammer.__class__(
+                    window_ms=self._base_system.breakhammer.window_ms,
+                    threat_threshold=threshold,
+                    outlier_threshold=self._base_system.breakhammer.outlier_threshold,
+                    p_oldsuspect=self._base_system.breakhammer.p_oldsuspect,
+                    p_newsuspect=self._base_system.breakhammer.p_newsuspect,
+                ),
+            )
+            simulator = Simulator(
+                config, mix.traces,
+                SimulationConfig(max_cycles=self.config.sim_cycles),
+                attacker_threads=mix.attacker_threads,
+            )
+            result = simulator.run()
+            self.runs_executed += 1
+            return self.benign_weighted_speedup(result.stats, mix)
+
+        attack_mix = self.config.attack_mixes[0]
+        benign_mix = self.config.benign_mixes[0]
+        for nrh in nrh_values:
+            for scenario, mix_name in (("attack", attack_mix),
+                                       ("benign", benign_mix)):
+                raw = [ws_for(mix_name, nrh, th) for th in thresholds]
+                reference = max(1e-9, raw[-1])
+                figure.add_series(
+                    f"{scenario}_nrh{nrh}", [v / reference for v in raw]
+                )
+        return figure
+
+    # ------------------------------------------------------------------ #
+    # Tables
+    # ------------------------------------------------------------------ #
+    def table1(self) -> TableData:
+        """Simulated system configuration (paper Table 1)."""
+
+        config = self.system_config("graphene", self.config.nrh_default, True)
+        description = config.describe()
+        table = TableData(
+            table_id="table1",
+            title="Simulated system configuration",
+            columns=["component", "parameters"],
+        )
+        for component, parameters in description.items():
+            table.add_row({"component": component, "parameters": parameters})
+        return table
+
+    def table2(self) -> TableData:
+        """BreakHammer configuration (paper Table 2)."""
+
+        paper = SystemConfig.paper_exact(breakhammer_enabled=True)
+        scaled = self._base_system
+        table = TableData(
+            table_id="table2",
+            title="BreakHammer configuration (paper values and scaled values)",
+            columns=["parameter", "paper_value", "scaled_value"],
+        )
+        paper_dict = paper.breakhammer.as_dict()
+        scaled_dict = scaled.breakhammer.as_dict()
+        for key in paper_dict:
+            table.add_row({
+                "parameter": key,
+                "paper_value": paper_dict[key],
+                "scaled_value": scaled_dict[key],
+            })
+        return table
+
+    def table3(self) -> TableData:
+        """Workload characteristics (paper Table 3) for the synthetic suite."""
+
+        mix_names = set(self.config.benign_mixes) | set(self.config.attack_mixes)
+        traces: List[Trace] = []
+        seen = set()
+        for name in sorted(mix_names):
+            for trace in self.mix(name).traces:
+                if trace.name not in seen:
+                    seen.add(trace.name)
+                    traces.append(trace)
+        rows = characterize_suite(traces, device=self._base_system.device,
+                                  mapping=self._base_system.mapping)
+        table = TableData(
+            table_id="table3",
+            title="Workload characteristics (synthetic suite)",
+            columns=["Workload", "RBMPKI", "ACT-512+", "ACT-128+", "ACT-64+"],
+            notes="Paper reference rows available as "
+                  "repro.workloads.characteristics.PAPER_TABLE3",
+        )
+        for row in rows[:12]:
+            table.add_row(row.as_row())
+        table.add_row(average_row(rows))
+        return table
+
+    def paper_table3(self) -> TableData:
+        table = TableData(
+            table_id="table3_paper",
+            title="Workload characteristics (paper-reported values)",
+            columns=["Workload", "RBMPKI", "ACT-512+", "ACT-128+", "ACT-64+"],
+        )
+        for row in PAPER_TABLE3:
+            table.add_row(row)
+        return table
+
+    def hardware_complexity(self, num_threads: int = 4,
+                            channels: int = 1) -> TableData:
+        """The §6 area/latency analysis.
+
+        Uses the paper's uncompressed DDR5 timings: the latency-vs-tRRD claim
+        is about real silicon, not about the scaled simulation profile.
+        """
+
+        from repro.dram.config import DeviceConfig
+
+        model = HardwareCostModel(num_threads=num_threads, channels=channels,
+                                  device_config=DeviceConfig.ddr5_4800())
+        report = model.report()
+        table = TableData(
+            table_id="hw",
+            title="BreakHammer hardware complexity",
+            columns=["quantity", "value"],
+        )
+        for key, value in report.as_dict().items():
+            table.add_row({"quantity": key, "value": value})
+        return table
+
+    # ------------------------------------------------------------------ #
+    # Headline numbers (abstract / §8 claims)
+    # ------------------------------------------------------------------ #
+    def headline_numbers(self, nrh: Optional[int] = None) -> Dict[str, float]:
+        """Average benign speedup / action reduction with an attacker present.
+
+        Mirrors the abstract's "improves performance by 90.1% and reduces
+        DRAM energy by 55.7% on average across workloads with a malicious
+        application" claim structure (the magnitudes depend on scale).
+        """
+
+        nrh = nrh or self.config.nrh_low
+        speedups: List[float] = []
+        energy_ratios: List[float] = []
+        action_ratios: List[float] = []
+        for mechanism in self.config.mechanisms:
+            for mix_name in self.config.attack_mixes:
+                mix = self.mix(mix_name)
+                base = self.run(mix_name, mechanism, nrh, False)
+                with_bh = self.run(mix_name, mechanism, nrh, True)
+                ws_base = self.benign_weighted_speedup(base, mix)
+                ws_bh = self.benign_weighted_speedup(with_bh, mix)
+                speedups.append(ws_bh / max(1e-9, ws_base))
+                energy_ratios.append(
+                    with_bh.energy_mj / max(1e-9, base.energy_mj)
+                )
+                if base.preventive_actions:
+                    action_ratios.append(
+                        with_bh.preventive_actions / base.preventive_actions
+                    )
+        return {
+            "mean_benign_speedup": geometric_mean(speedups),
+            "mean_energy_ratio": sum(energy_ratios) / len(energy_ratios),
+            "mean_preventive_action_ratio": (
+                sum(action_ratios) / len(action_ratios) if action_ratios else 1.0
+            ),
+        }

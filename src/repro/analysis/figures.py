@@ -1,0 +1,101 @@
+"""Small containers for reproduced figures and tables.
+
+Every experiment in :mod:`repro.analysis.experiments` returns one of these,
+so benchmarks, examples, and tests can consume results uniformly and the
+report module can render them as text tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass
+class FigureSeries:
+    """One line/bar group of a figure: a label and y-values over x-values."""
+
+    label: str
+    values: List[float]
+
+    def __post_init__(self) -> None:
+        self.values = [float(v) for v in self.values]
+
+    @property
+    def mean(self) -> float:
+        return sum(self.values) / len(self.values) if self.values else 0.0
+
+
+@dataclass
+class FigureData:
+    """A reproduced figure: x-axis, named series, and metadata."""
+
+    figure_id: str
+    title: str
+    x_label: str
+    y_label: str
+    x_values: List[object]
+    series: Dict[str, FigureSeries] = field(default_factory=dict)
+    notes: str = ""
+
+    def add_series(self, label: str, values: Sequence[float]) -> FigureSeries:
+        if len(values) != len(self.x_values):
+            raise ValueError(
+                f"series {label!r} has {len(values)} values but the figure "
+                f"has {len(self.x_values)} x points"
+            )
+        series = FigureSeries(label=label, values=list(values))
+        self.series[label] = series
+        return series
+
+    def get(self, label: str) -> FigureSeries:
+        return self.series[label]
+
+    def labels(self) -> List[str]:
+        return list(self.series)
+
+    def as_rows(self) -> List[Dict[str, object]]:
+        """Row-per-x representation (handy for CSV-ish dumps and tests)."""
+
+        rows = []
+        for idx, x in enumerate(self.x_values):
+            row: Dict[str, object] = {self.x_label: x}
+            for label, series in self.series.items():
+                row[label] = series.values[idx]
+            rows.append(row)
+        return rows
+
+
+@dataclass
+class TableData:
+    """A reproduced table: ordered column names and row dictionaries."""
+
+    table_id: str
+    title: str
+    columns: List[str]
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    notes: str = ""
+
+    def add_row(self, row: Dict[str, object]) -> None:
+        missing = [c for c in self.columns if c not in row]
+        if missing:
+            raise ValueError(f"row is missing columns: {missing}")
+        self.rows.append(row)
+
+    def column(self, name: str) -> List[object]:
+        return [row[name] for row in self.rows]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+@dataclass
+class ComparisonEntry:
+    """One paper-vs-measured record for EXPERIMENTS.md."""
+
+    experiment: str
+    quantity: str
+    paper_value: str
+    measured_value: str
+    matches_trend: bool
+    comment: str = ""

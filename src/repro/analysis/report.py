@@ -1,0 +1,103 @@
+"""Plain-text rendering of reproduced figures and tables.
+
+The benchmark harness prints the same rows/series the paper reports; this
+module turns :class:`FigureData` / :class:`TableData` objects into aligned
+ASCII tables so benches and examples can show them without any plotting
+dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.analysis.figures import ComparisonEntry, FigureData, TableData
+
+
+def _format_cell(value: object, width: int = 0) -> str:
+    if isinstance(value, float):
+        text = f"{value:.3f}"
+    else:
+        text = str(value)
+    return text.rjust(width) if width else text
+
+
+def render_table(table: TableData) -> str:
+    """Render a :class:`TableData` as an aligned text table."""
+
+    columns = table.columns
+    rows = [[_format_cell(row.get(col, "")) for col in columns] for row in table.rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in rows)) if rows else len(col)
+        for i, col in enumerate(columns)
+    ]
+    lines = [table.title, "=" * len(table.title)]
+    header = " | ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(" | ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    if table.notes:
+        lines.append("")
+        lines.append(f"note: {table.notes}")
+    return "\n".join(lines)
+
+
+def render_figure(figure: FigureData, precision: int = 3) -> str:
+    """Render a :class:`FigureData` as a series-per-row text table."""
+
+    x_header = figure.x_label
+    x_cells = [_format_cell(x) for x in figure.x_values]
+    label_width = max(
+        [len("series")] + [len(label) for label in figure.series]
+    )
+    col_widths = [
+        max(len(x_cells[i]),
+            *(len(f"{s.values[i]:.{precision}f}") for s in figure.series.values()))
+        if figure.series else len(x_cells[i])
+        for i in range(len(x_cells))
+    ]
+    lines = [f"{figure.figure_id}: {figure.title}",
+             "=" * (len(figure.figure_id) + 2 + len(figure.title))]
+    header = "series".ljust(label_width) + " | " + " | ".join(
+        x_cells[i].rjust(col_widths[i]) for i in range(len(x_cells))
+    )
+    lines.append(f"({x_header} →)")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for label, series in figure.series.items():
+        cells = [
+            f"{series.values[i]:.{precision}f}".rjust(col_widths[i])
+            for i in range(len(series.values))
+        ]
+        lines.append(label.ljust(label_width) + " | " + " | ".join(cells))
+    if figure.notes:
+        lines.append("")
+        lines.append(f"note: {figure.notes}")
+    return "\n".join(lines)
+
+
+def render_comparisons(entries: Sequence[ComparisonEntry]) -> str:
+    """Render a paper-vs-measured comparison list."""
+
+    table = TableData(
+        table_id="comparison",
+        title="Paper vs measured",
+        columns=["experiment", "quantity", "paper", "measured", "trend_match",
+                 "comment"],
+    )
+    for entry in entries:
+        table.add_row({
+            "experiment": entry.experiment,
+            "quantity": entry.quantity,
+            "paper": entry.paper_value,
+            "measured": entry.measured_value,
+            "trend_match": "yes" if entry.matches_trend else "NO",
+            "comment": entry.comment,
+        })
+    return render_table(table)
+
+
+def figure_summary(figure: FigureData) -> Dict[str, float]:
+    """Per-series means — a compact summary used in benchmark printouts."""
+
+    return {label: series.mean for label, series in figure.series.items()}

@@ -1,0 +1,24 @@
+"""Memory-controller substrate.
+
+The controller receives :class:`repro.controller.request.MemoryRequest`
+objects from the cache hierarchy, schedules DRAM commands with an
+FR-FCFS-with-cap policy, interleaves periodic refresh, and gives the attached
+RowHammer mitigation mechanism the opportunity to inject preventive
+maintenance commands.  Every row activation and every preventive action is
+reported to registered observers — this is the hook BreakHammer attaches to.
+"""
+
+from repro.controller.controller import ControllerStats, MemoryController
+from repro.controller.queues import RequestQueue
+from repro.controller.request import MemoryRequest, RequestType
+from repro.controller.scheduler import FrFcfsCapScheduler, SchedulerDecision
+
+__all__ = [
+    "ControllerStats",
+    "FrFcfsCapScheduler",
+    "MemoryController",
+    "MemoryRequest",
+    "RequestQueue",
+    "RequestType",
+    "SchedulerDecision",
+]

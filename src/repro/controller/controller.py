@@ -1,0 +1,455 @@
+"""The memory controller.
+
+One :class:`MemoryController` instance drives one DRAM channel.  Per cycle it
+issues at most one DRAM command, chosen with the following priority order
+(highest first):
+
+1. an overdue periodic refresh that can no longer be postponed,
+2. pending RowHammer-preventive maintenance demanded by the attached
+   mitigation mechanism (victim refreshes, RFM windows, row migrations),
+3. a periodic refresh that is pending and whose rank has no ready work,
+4. a command on behalf of a queued read (or write, during write drain),
+   selected by the FR-FCFS+Cap scheduler.
+
+Every issued ACT and every completed preventive action is reported to the
+registered observers; BreakHammer registers itself as such an observer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.controller.queues import RequestQueue
+from repro.controller.request import MemoryRequest, RequestType
+from repro.controller.scheduler import BaseScheduler, FrFcfsCapScheduler
+from repro.dram.address import AddressMapper, DramAddress, MappingScheme
+from repro.dram.commands import Command, CommandType
+from repro.dram.config import DeviceConfig
+from repro.dram.device import Channel
+from repro.dram.energy import EnergyModel
+from repro.dram.refresh import RefreshManager
+from repro.mitigations.base import (
+    ActionObserver,
+    MitigationMechanism,
+    NoMitigation,
+    PreventiveAction,
+)
+
+
+@dataclass
+class ControllerStats:
+    """Aggregate statistics collected by the controller."""
+
+    reads_completed: int = 0
+    writes_completed: int = 0
+    activations: int = 0
+    precharges: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+    row_conflicts: int = 0
+    refreshes: int = 0
+    preventive_actions: int = 0
+    preventive_commands: int = 0
+    blocked_activations: int = 0
+    read_latencies: List[int] = field(default_factory=list)
+    latency_by_thread: Dict[int, List[int]] = field(default_factory=dict)
+    activations_by_thread: Dict[int, int] = field(default_factory=dict)
+
+    def record_read_latency(self, thread_id: Optional[int], latency: int) -> None:
+        self.read_latencies.append(latency)
+        if thread_id is not None:
+            self.latency_by_thread.setdefault(thread_id, []).append(latency)
+
+    def record_activation(self, thread_id: Optional[int]) -> None:
+        self.activations += 1
+        if thread_id is not None:
+            self.activations_by_thread[thread_id] = (
+                self.activations_by_thread.get(thread_id, 0) + 1
+            )
+
+
+class MemoryController:
+    """Cycle-driven memory controller for one DRAM channel."""
+
+    def __init__(
+        self,
+        config: DeviceConfig,
+        mitigation: Optional[MitigationMechanism] = None,
+        scheduler: Optional[BaseScheduler] = None,
+        mapper: Optional[AddressMapper] = None,
+        channel_index: int = 0,
+        read_queue_size: int = 64,
+        write_queue_size: int = 64,
+        write_drain_high: float = 0.75,
+        write_drain_low: float = 0.25,
+    ) -> None:
+        self.config = config
+        self.channel_index = channel_index
+        self.channel = Channel(config, channel_index)
+        self.timing = config.timing_cycles()
+        self.mitigation = mitigation or NoMitigation(config)
+        self.scheduler = scheduler or FrFcfsCapScheduler(cap=4)
+        self.mapper = mapper or AddressMapper(config, MappingScheme.MOP)
+        self.refresh_manager = RefreshManager(config, channel=channel_index)
+        self.energy = EnergyModel(config)
+
+        self.read_queue = RequestQueue(read_queue_size, name="read")
+        self.write_queue = RequestQueue(write_queue_size, name="write")
+        self._write_drain = False
+        self._write_drain_high = write_drain_high
+        self._write_drain_low = write_drain_low
+
+        # Preventive work waiting to be issued, in FIFO order.
+        self._pending_actions: List[PreventiveAction] = []
+        # Requests whose column command has issued; completed when due.
+        self._in_flight: List[Tuple[int, MemoryRequest]] = []
+
+        self.observers: List[ActionObserver] = []
+        self.stats = ControllerStats()
+        self.cycle = 0
+        self._next_refresh_window = self.timing.refresh_window
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def register_observer(self, observer: ActionObserver) -> None:
+        """Attach an observer (e.g. BreakHammer) for activation/action events."""
+
+        self.observers.append(observer)
+
+    def enqueue(self, request: MemoryRequest) -> bool:
+        """Accept a memory request; returns ``False`` when the queue is full."""
+
+        queue = self.write_queue if request.is_write else self.read_queue
+        if queue.is_full:
+            return False
+        request.arrival_cycle = self.cycle
+        request.coordinate = self.mapper.map(request.address)
+        queue.push(request)
+        return True
+
+    def can_accept(self, kind: RequestType) -> bool:
+        queue = self.write_queue if kind.is_write else self.read_queue
+        return not queue.is_full
+
+    @property
+    def pending_requests(self) -> int:
+        return len(self.read_queue) + len(self.write_queue) + len(self._in_flight)
+
+    @property
+    def pending_preventive_actions(self) -> int:
+        return len(self._pending_actions)
+
+    def tick(self, cycle: int) -> List[MemoryRequest]:
+        """Advance one cycle; return the requests that completed this cycle."""
+
+        self.cycle = cycle
+        self.refresh_manager.tick(cycle)
+        self._tick_refresh_window(cycle)
+        self._collect_mitigation_ticks(cycle)
+        completed = self._drain_completed(cycle)
+        self._update_write_drain()
+        self._issue_one_command(cycle)
+        return completed
+
+    # ------------------------------------------------------------------ #
+    # Internal: housekeeping
+    # ------------------------------------------------------------------ #
+    def _tick_refresh_window(self, cycle: int) -> None:
+        if cycle >= self._next_refresh_window:
+            self.mitigation.on_refresh_window(cycle)
+            self._next_refresh_window += self.timing.refresh_window
+
+    def _collect_mitigation_ticks(self, cycle: int) -> None:
+        for action in self.mitigation.tick(cycle):
+            self._pending_actions.append(action)
+
+    def _drain_completed(self, cycle: int) -> List[MemoryRequest]:
+        done: List[MemoryRequest] = []
+        remaining: List[Tuple[int, MemoryRequest]] = []
+        for done_cycle, request in self._in_flight:
+            if done_cycle <= cycle:
+                request.complete(cycle)
+                done.append(request)
+                if request.is_write:
+                    self.stats.writes_completed += 1
+                else:
+                    self.stats.reads_completed += 1
+                    if request.latency is not None:
+                        self.stats.record_read_latency(
+                            request.thread_id, request.latency
+                        )
+            else:
+                remaining.append((done_cycle, request))
+        self._in_flight = remaining
+        return done
+
+    def _update_write_drain(self) -> None:
+        occupancy = self.write_queue.occupancy
+        if not self._write_drain and occupancy >= self._write_drain_high:
+            self._write_drain = True
+        elif self._write_drain and occupancy <= self._write_drain_low:
+            self._write_drain = False
+        # Always drain writes if there is nothing else to do.
+        if not self.read_queue and self.write_queue:
+            self._write_drain = True
+
+    # ------------------------------------------------------------------ #
+    # Internal: command issue
+    # ------------------------------------------------------------------ #
+    def _issue_one_command(self, cycle: int) -> None:
+        if self._issue_urgent_refresh(cycle):
+            return
+        if self._issue_preventive(cycle):
+            return
+        if self._issue_request_command(cycle):
+            return
+        self._issue_opportunistic_refresh(cycle)
+
+    # -- refresh -------------------------------------------------------- #
+    #: A pending refresh overdue by more than this fraction of tREFI takes
+    #: priority over regular requests (JEDEC allows postponing refreshes,
+    #: but they must not starve behind a saturated request stream).
+    REFRESH_PRIORITY_URGENCY = 0.5
+
+    def _issue_urgent_refresh(self, cycle: int) -> bool:
+        for state in self.refresh_manager.states:
+            urgency = self.refresh_manager.urgency(state.rank, cycle)
+            if urgency < self.REFRESH_PRIORITY_URGENCY:
+                continue
+            if self._try_refresh_rank(state.rank, cycle):
+                return True
+        return False
+
+    def _issue_opportunistic_refresh(self, cycle: int) -> bool:
+        command = self.refresh_manager.pending_refresh(cycle)
+        if command is None:
+            return False
+        return self._try_refresh_rank(command.rank, cycle)
+
+    def _try_refresh_rank(self, rank: int, cycle: int) -> bool:
+        ref = Command(CommandType.REF, channel=self.channel_index, rank=rank)
+        if self.channel.ready(ref, cycle):
+            self.channel.issue(ref, cycle)
+            self.energy.record(CommandType.REF)
+            self.refresh_manager.refresh_issued(rank, cycle)
+            self.stats.refreshes += 1
+            return True
+        # Close an open bank in this rank so the refresh can go out soon.
+        for bank in self.channel.rank(rank).iter_banks():
+            if bank.is_open():
+                pre = Command(
+                    CommandType.PRE,
+                    channel=self.channel_index,
+                    rank=rank,
+                    bank_group=bank.bank_group,
+                    bank=bank.bank,
+                )
+                if self.channel.ready(pre, cycle):
+                    self.channel.issue(pre, cycle)
+                    self.energy.record(CommandType.PRE)
+                    self.stats.precharges += 1
+                    return True
+        return False
+
+    # -- preventive maintenance ------------------------------------------ #
+    def _issue_preventive(self, cycle: int) -> bool:
+        if not self._pending_actions:
+            return False
+        action = self._pending_actions[0]
+        if not action.commands:
+            self._finish_action(action, cycle)
+            return False
+        command = action.commands[0]
+        if self.channel.ready(command, cycle):
+            self.channel.issue(command, cycle)
+            self.energy.record(command.kind)
+            self.stats.preventive_commands += 1
+            action.commands.pop(0)
+            if not action.commands:
+                self._finish_action(action, cycle)
+            return True
+        # The target bank may hold an open row: close it so the
+        # maintenance command can issue.
+        bank = self.channel.bank(command.rank, command.bank_group, command.bank)
+        if bank.is_open():
+            pre = Command(
+                CommandType.PRE,
+                channel=self.channel_index,
+                rank=command.rank,
+                bank_group=command.bank_group,
+                bank=command.bank,
+            )
+            if self.channel.ready(pre, cycle):
+                self.channel.issue(pre, cycle)
+                self.energy.record(CommandType.PRE)
+                self.stats.precharges += 1
+                return True
+        return False
+
+    def _finish_action(self, action: PreventiveAction, cycle: int) -> None:
+        action.completed_cycle = cycle
+        self._pending_actions.remove(action)
+        self.stats.preventive_actions += 1
+        for observer in self.observers:
+            observer.on_preventive_action(action, cycle)
+
+    # -- regular requests ------------------------------------------------ #
+    def _candidate_requests(self) -> List[MemoryRequest]:
+        queue = self.write_queue if self._write_drain else self.read_queue
+        candidates = list(queue)
+        if not candidates and not self._write_drain and self.write_queue:
+            candidates = list(self.write_queue)
+        return candidates
+
+    #: Number of top-priority candidates the controller will try per cycle
+    #: before giving up; bounds the per-cycle scheduling work while still
+    #: preserving bank-level parallelism.
+    MAX_SCHEDULE_ATTEMPTS = 16
+
+    def _issue_request_command(self, cycle: int) -> bool:
+        candidates = self._candidate_requests()
+        if not candidates:
+            return False
+        ordered = self.scheduler.prioritize(candidates, self.channel, cycle)
+        attempts = 0
+        # A bank that could not accept one candidate's command this cycle
+        # will not accept another candidate's either, so each bank is tried
+        # at most once per cycle.
+        failed_banks = set()
+        for decision in ordered:
+            coord = decision.request.coordinate
+            if coord is not None and coord.bank_key in failed_banks:
+                continue
+            if self._try_serve(decision, cycle):
+                return True
+            if coord is not None:
+                failed_banks.add(coord.bank_key)
+            attempts += 1
+            if attempts >= self.MAX_SCHEDULE_ATTEMPTS:
+                break
+        return False
+
+    def _try_serve(self, decision, cycle: int) -> bool:
+        request = decision.request
+        coord = request.coordinate
+        assert coord is not None
+        bank = self.channel.bank(coord.rank, coord.bank_group, coord.bank)
+
+        if bank.is_open(coord.row):
+            kind = CommandType.WR if request.is_write else CommandType.RD
+            command = Command(
+                kind,
+                channel=self.channel_index,
+                rank=coord.rank,
+                bank_group=coord.bank_group,
+                bank=coord.bank,
+                row=coord.row,
+                column=coord.column,
+                source_thread=request.thread_id,
+            )
+            if not self.channel.ready(command, cycle):
+                return False
+            done = self.channel.issue(command, cycle)
+            self.energy.record(kind)
+            self.stats.row_hits += 1
+            if request.first_command_cycle is None:
+                request.first_command_cycle = cycle
+            self._remove_from_queue(request)
+            self._in_flight.append((done, request))
+            self.scheduler.notify_served(decision)
+            return True
+
+        if bank.is_open():
+            # Row conflict: close the open row first.
+            pre = Command(
+                CommandType.PRE,
+                channel=self.channel_index,
+                rank=coord.rank,
+                bank_group=coord.bank_group,
+                bank=coord.bank,
+            )
+            if not self.channel.ready(pre, cycle):
+                return False
+            self.channel.issue(pre, cycle)
+            self.energy.record(CommandType.PRE)
+            self.stats.precharges += 1
+            self.stats.row_conflicts += 1
+            bank.record_conflict()
+            return True
+
+        # Bank closed: activate the row (subject to the mitigation's gate and
+        # to refresh priority — new activations would starve an overdue REF).
+        if self.refresh_manager.urgency(coord.rank, cycle) >= \
+                self.REFRESH_PRIORITY_URGENCY:
+            return False
+        if not self.mitigation.allow_activation(coord, cycle):
+            self.stats.blocked_activations += 1
+            return False
+        act = Command(
+            CommandType.ACT,
+            channel=self.channel_index,
+            rank=coord.rank,
+            bank_group=coord.bank_group,
+            bank=coord.bank,
+            row=coord.row,
+            source_thread=request.thread_id,
+        )
+        if not self.channel.ready(act, cycle):
+            return False
+        self.channel.issue(act, cycle)
+        self.energy.record(CommandType.ACT)
+        self.energy.record(CommandType.PRE)  # every ACT implies a later PRE pair
+        self.stats.record_activation(request.thread_id)
+        self.stats.row_misses += 1
+        if request.first_command_cycle is None:
+            request.first_command_cycle = cycle
+        self._notify_activation(coord, request.thread_id, cycle)
+        return True
+
+    def _remove_from_queue(self, request: MemoryRequest) -> None:
+        queue = self.write_queue if request.is_write else self.read_queue
+        queue.remove(request)
+
+    def _notify_activation(self, coord: DramAddress, thread_id: Optional[int],
+                           cycle: int) -> None:
+        for observer in self.observers:
+            observer.on_activation(coord, thread_id, cycle)
+        for action in self.mitigation.on_activation(coord, thread_id, cycle):
+            self._pending_actions.append(action)
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+    def drain(self, max_cycles: int = 1_000_000) -> int:
+        """Run the controller until all queued work completes.
+
+        Returns the cycle at which the controller went idle.  Used by tests
+        and by the end-of-simulation flush.
+        """
+
+        cycle = self.cycle
+        while (self.pending_requests or self._pending_actions) and max_cycles > 0:
+            cycle += 1
+            max_cycles -= 1
+            self.tick(cycle)
+        return cycle
+
+    def snapshot(self) -> Dict[str, object]:
+        """A summary dictionary used by the stats collector."""
+
+        return {
+            "reads_completed": self.stats.reads_completed,
+            "writes_completed": self.stats.writes_completed,
+            "activations": self.stats.activations,
+            "row_hits": self.stats.row_hits,
+            "row_misses": self.stats.row_misses,
+            "row_conflicts": self.stats.row_conflicts,
+            "refreshes": self.stats.refreshes,
+            "preventive_actions": self.stats.preventive_actions,
+            "preventive_commands": self.stats.preventive_commands,
+            "blocked_activations": self.stats.blocked_activations,
+            "mitigation": self.mitigation.stats(),
+            "channel": self.channel.stats(),
+        }

@@ -1,0 +1,99 @@
+"""Bounded request queues used by the memory controller.
+
+The paper's configuration (Table 1) uses 64-entry read and write request
+queues.  :class:`RequestQueue` is a small bounded container that preserves
+arrival order (needed for the "first-come" part of FR-FCFS) and offers the
+queries the scheduler needs: oldest entry, entries targeting an open row,
+per-bank views.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, List, Optional
+
+from repro.controller.request import MemoryRequest
+
+
+class RequestQueue:
+    """A bounded, arrival-ordered queue of memory requests."""
+
+    def __init__(self, capacity: int = 64, name: str = "queue") -> None:
+        if capacity <= 0:
+            raise ValueError("queue capacity must be positive")
+        self.capacity = capacity
+        self.name = name
+        self._entries: List[MemoryRequest] = []
+        self.enqueued_total = 0
+        self.rejected_total = 0
+        self.peak_occupancy = 0
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[MemoryRequest]:
+        return iter(self._entries)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    @property
+    def occupancy(self) -> float:
+        return len(self._entries) / self.capacity
+
+    # ------------------------------------------------------------------ #
+    def push(self, request: MemoryRequest) -> bool:
+        """Append ``request`` if there is room; return ``False`` otherwise."""
+
+        if self.is_full:
+            self.rejected_total += 1
+            return False
+        self._entries.append(request)
+        self.enqueued_total += 1
+        self.peak_occupancy = max(self.peak_occupancy, len(self._entries))
+        return True
+
+    def remove(self, request: MemoryRequest) -> None:
+        """Remove a specific request (after it has been scheduled)."""
+
+        self._entries.remove(request)
+
+    def oldest(self) -> Optional[MemoryRequest]:
+        """Return the oldest request without removing it."""
+
+        return self._entries[0] if self._entries else None
+
+    # ------------------------------------------------------------------ #
+    def matching(self, predicate: Callable[[MemoryRequest], bool]
+                 ) -> List[MemoryRequest]:
+        """Return all queued requests satisfying ``predicate`` in arrival order."""
+
+        return [req for req in self._entries if predicate(req)]
+
+    def first_matching(self, predicate: Callable[[MemoryRequest], bool]
+                       ) -> Optional[MemoryRequest]:
+        for req in self._entries:
+            if predicate(req):
+                return req
+        return None
+
+    def for_bank(self, bank_key: tuple) -> List[MemoryRequest]:
+        """All requests whose decoded coordinate targets ``bank_key``."""
+
+        return self.matching(
+            lambda r: r.coordinate is not None and r.coordinate.bank_key == bank_key
+        )
+
+    def threads_present(self) -> Iterable[int]:
+        """Distinct thread ids currently waiting in the queue."""
+
+        return {
+            req.thread_id for req in self._entries if req.thread_id is not None
+        }
+
+    def count_for_thread(self, thread_id: int) -> int:
+        return sum(1 for req in self._entries if req.thread_id == thread_id)

@@ -1,0 +1,113 @@
+"""Security analysis — Expression 2 and Fig. 5 of the paper.
+
+The paper analyses the strongest memory-performance attack an adversary can
+mount *without* being identified as a suspect: the attacker keeps every
+attack thread's RowHammer-preventive score just below the outlier bound.
+
+With ``N_atk`` attack threads, ``N_ben`` benign threads, a benign average
+score ``RS_ben_avg``, and outlier threshold ``TH_outlier``, the maximum score
+an attack thread can reach before detection satisfies Expression 2:
+
+    RS_atk_max < ((N_atk * RS_atk + N_ben * RS_ben_avg) / (N_atk + N_ben))
+                 * (1 + TH_outlier)
+
+Solving the fixed point where every attack thread holds the same maximal
+score yields the closed form implemented by :func:`max_attacker_score_ratio`,
+which is what Fig. 5 plots (normalised to the benign average score).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+
+def max_attacker_score_ratio(attacker_fraction: float,
+                             outlier_threshold: float) -> float:
+    """Maximum attack-thread score, normalised to the benign average.
+
+    Parameters
+    ----------
+    attacker_fraction:
+        ``N_atk / (N_atk + N_ben)`` — the fraction of hardware threads the
+        attacker controls, in ``[0, 1)``.
+    outlier_threshold:
+        BreakHammer's ``TH_outlier``.
+
+    Returns
+    -------
+    float
+        The largest ``RS_atk / RS_ben_avg`` an undetected attack thread can
+        sustain.  Diverges to infinity as the attacker fraction approaches
+        ``1 / (1 + TH_outlier)`` ... 1 — i.e. only an attacker controlling
+        nearly all threads escapes the bound, which is the paper's point.
+    """
+
+    if not 0.0 <= attacker_fraction <= 1.0:
+        raise ValueError("attacker_fraction must be within [0, 1]")
+    if outlier_threshold < 0:
+        raise ValueError("outlier_threshold must be non-negative")
+    factor = 1.0 + outlier_threshold
+    benign_fraction = 1.0 - attacker_fraction
+    denominator = 1.0 - factor * attacker_fraction
+    if denominator <= 0.0:
+        return float("inf")
+    return factor * benign_fraction / denominator
+
+
+@dataclass
+class SecurityAnalysis:
+    """Convenience wrapper producing the Fig. 5 data series."""
+
+    outlier_thresholds: Sequence[float] = (
+        0.05, 0.15, 0.25, 0.35, 0.45, 0.55, 0.65, 0.75, 0.85, 0.95
+    )
+
+    def curve(self, outlier_threshold: float,
+              attacker_percentages: Sequence[int] = tuple(range(0, 101, 10)),
+              cap: float = 10.0) -> List[float]:
+        """One Fig. 5 line: RS_atk_max / RS_ben_avg vs attacker share."""
+
+        values = []
+        for percent in attacker_percentages:
+            ratio = max_attacker_score_ratio(percent / 100.0, outlier_threshold)
+            values.append(min(ratio, cap))
+        return values
+
+    def figure5(self, attacker_percentages: Sequence[int] = tuple(range(0, 101, 10)),
+                cap: float = 10.0) -> Dict[float, List[float]]:
+        """All Fig. 5 lines keyed by TH_outlier."""
+
+        return {
+            th: self.curve(th, attacker_percentages, cap)
+            for th in self.outlier_thresholds
+        }
+
+    # ------------------------------------------------------------------ #
+    # The two observations the paper makes from Fig. 5
+    # ------------------------------------------------------------------ #
+    def paper_observation_50pct(self) -> float:
+        """At TH_outlier = 0.65 and 50% attacker threads: ≈ 4.71×."""
+
+        return max_attacker_score_ratio(0.5, 0.65)
+
+    def paper_observation_90pct(self) -> float:
+        """At TH_outlier = 0.05 and 90% attacker threads: ≈ 1.90×."""
+
+        return max_attacker_score_ratio(0.9, 0.05)
+
+    def minimum_attacker_share_for_ratio(self, target_ratio: float,
+                                         outlier_threshold: float,
+                                         resolution: int = 1000) -> float:
+        """Smallest attacker-thread fraction achieving ``target_ratio``.
+
+        Used to reproduce statements like "an attacker cannot trigger twice
+        the preventive actions of benign threads unless it controls 90% of
+        all hardware threads" (paper §1/§5.2).
+        """
+
+        for step in range(resolution + 1):
+            fraction = step / resolution
+            if max_attacker_score_ratio(fraction, outlier_threshold) >= target_ratio:
+                return fraction
+        return 1.0

@@ -1,0 +1,148 @@
+"""Optional system-software feedback interface (paper §4 and §5.2).
+
+BreakHammer optionally exposes each hardware thread's RowHammer-preventive
+score to the operating system, "similarly to how it accesses thread-specific
+special registers".  The OS can then associate scores with software threads,
+processes, address spaces or users, which closes the two gaps hardware-only
+tracking leaves open:
+
+* a *circumvention* attack that rotates the hammering work across many
+  short-lived hardware threads of the same process (§5.2), and
+* accounting at a granularity that matches administrative action (stop or
+  deprioritise a process/user rather than a hardware context).
+
+:class:`ScoreRegisterFile` models the exposed per-hardware-thread registers,
+and :class:`SoftwareScoreTracker` models the OS-side bookkeeping: owners,
+their accumulated scores across scheduling epochs, and a simple policy that
+flags owners whose cumulative score is an outlier — reusing the same
+thresholded-deviation test the hardware uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+from repro.core.breakhammer import BreakHammer
+from repro.core.suspect import SuspectDetector
+
+
+class ScoreRegisterFile:
+    """The per-hardware-thread score registers exposed to system software."""
+
+    def __init__(self, breakhammer: BreakHammer) -> None:
+        self._breakhammer = breakhammer
+
+    def read(self, hw_thread: int) -> float:
+        """Read one thread's current RowHammer-preventive score register."""
+
+        return self._breakhammer.score_of(hw_thread)
+
+    def read_all(self) -> Dict[int, float]:
+        return self._breakhammer.export_scores()
+
+    @property
+    def num_threads(self) -> int:
+        return self._breakhammer.num_threads
+
+
+@dataclass
+class OwnerRecord:
+    """OS-side accumulated state for one owner (process, user, cgroup…)."""
+
+    owner: str
+    cumulative_score: float = 0.0
+    epochs_observed: int = 0
+    epochs_flagged: int = 0
+    hw_threads_seen: set = field(default_factory=set)
+
+
+class SoftwareScoreTracker:
+    """OS-level score aggregation across scheduling epochs.
+
+    At every scheduling epoch the OS knows which owner ran on which hardware
+    thread; :meth:`sample_epoch` reads the score registers, charges each
+    owner with the *increase* since the previous sample on that thread, and
+    re-evaluates the owner population with the same outlier rule the
+    hardware uses.  An owner that keeps rotating its hammering work across
+    hardware threads therefore keeps accumulating blame even though no
+    single hardware thread looks suspicious.
+    """
+
+    def __init__(self, registers: ScoreRegisterFile,
+                 threat_threshold: float = 8.0,
+                 outlier_threshold: float = 0.65) -> None:
+        self.registers = registers
+        self.detector = SuspectDetector(threat_threshold, outlier_threshold)
+        self.owners: Dict[str, OwnerRecord] = {}
+        self._previous_sample: Dict[int, float] = {
+            thread: 0.0 for thread in range(registers.num_threads)
+        }
+        self.epochs = 0
+
+    # ------------------------------------------------------------------ #
+    def _record(self, owner: str) -> OwnerRecord:
+        record = self.owners.get(owner)
+        if record is None:
+            record = OwnerRecord(owner=owner)
+            self.owners[owner] = record
+        return record
+
+    def sample_epoch(self, schedule: Mapping[int, str]) -> List[str]:
+        """Charge owners for this epoch's score increases; return flagged owners.
+
+        ``schedule`` maps hardware thread → owner name for the epoch that
+        just ended.  Score registers may also have been rotated (reset) by
+        the hardware between samples; a register that decreased is treated
+        as having started from zero.
+        """
+
+        self.epochs += 1
+        current = self.registers.read_all()
+        for thread, owner in schedule.items():
+            before = self._previous_sample.get(thread, 0.0)
+            now = current.get(thread, 0.0)
+            increase = now - before if now >= before else now
+            record = self._record(owner)
+            record.cumulative_score += max(0.0, increase)
+            record.hw_threads_seen.add(thread)
+        for thread, value in current.items():
+            self._previous_sample[thread] = value
+        for owner in {schedule[t] for t in schedule}:
+            self.owners[owner].epochs_observed += 1
+
+        flagged = self.flagged_owners()
+        for owner in flagged:
+            self.owners[owner].epochs_flagged += 1
+        return flagged
+
+    # ------------------------------------------------------------------ #
+    def flagged_owners(self) -> List[str]:
+        """Owners whose cumulative score is an outlier among all owners."""
+
+        if not self.owners:
+            return []
+        names = list(self.owners)
+        scores = [self.owners[name].cumulative_score for name in names]
+        decision = self.detector.evaluate(scores)
+        return [names[i] for i in decision.suspects]
+
+    def score_of(self, owner: str) -> float:
+        record = self.owners.get(owner)
+        return record.cumulative_score if record else 0.0
+
+    def report(self) -> List[Dict[str, object]]:
+        """A per-owner summary, sorted by cumulative score (highest first)."""
+
+        rows = [
+            {
+                "owner": record.owner,
+                "cumulative_score": round(record.cumulative_score, 3),
+                "epochs_observed": record.epochs_observed,
+                "epochs_flagged": record.epochs_flagged,
+                "hw_threads_seen": sorted(record.hw_threads_seen),
+            }
+            for record in self.owners.values()
+        ]
+        rows.sort(key=lambda row: row["cumulative_score"], reverse=True)
+        return rows

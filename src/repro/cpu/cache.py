@@ -1,0 +1,192 @@
+"""A set-associative last-level cache model.
+
+The paper's system uses a shared 8 MiB, 8-way, 64-byte-line LLC.  The cache
+model implements LRU replacement, write-back/write-allocate semantics, and
+exposes the statistics the rest of the system needs (hits, misses, evictions,
+writebacks, per-thread miss counts).
+
+Latency handling is intentionally simple: the cache itself is modelled with a
+fixed hit latency; misses are handed to the MSHR file / memory controller by
+the system wiring (the cache only classifies accesses and manages tags).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and latency of a cache."""
+
+    size_bytes: int = 8 * 1024 * 1024
+    associativity: int = 8
+    line_bytes: int = 64
+    hit_latency: int = 20  # cycles from access to data for an LLC hit
+
+    def __post_init__(self) -> None:
+        if self.size_bytes % (self.associativity * self.line_bytes) != 0:
+            raise ValueError(
+                "cache size must be a multiple of associativity * line size"
+            )
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.associativity * self.line_bytes)
+
+    @property
+    def num_lines(self) -> int:
+        return self.size_bytes // self.line_bytes
+
+
+@dataclass
+class CacheStats:
+    """Counters maintained by the cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+    hits_by_thread: Dict[int, int] = field(default_factory=dict)
+    misses_by_thread: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def record(self, hit: bool, thread_id: Optional[int]) -> None:
+        if hit:
+            self.hits += 1
+            if thread_id is not None:
+                self.hits_by_thread[thread_id] = (
+                    self.hits_by_thread.get(thread_id, 0) + 1
+                )
+        else:
+            self.misses += 1
+            if thread_id is not None:
+                self.misses_by_thread[thread_id] = (
+                    self.misses_by_thread.get(thread_id, 0) + 1
+                )
+
+
+@dataclass
+class CacheLine:
+    """Tag-store entry."""
+
+    tag: int
+    dirty: bool = False
+    owner_thread: Optional[int] = None
+
+
+@dataclass
+class AccessResult:
+    """Outcome of a cache access."""
+
+    hit: bool
+    latency: int
+    writeback_address: Optional[int] = None
+
+
+class SetAssociativeCache:
+    """An LRU set-associative cache (tag store only, no data)."""
+
+    def __init__(self, config: Optional[CacheConfig] = None,
+                 name: str = "llc") -> None:
+        self.config = config or CacheConfig()
+        self.name = name
+        # One OrderedDict per set: key = tag, order = LRU (front = LRU).
+        self._sets: List[OrderedDict] = [
+            OrderedDict() for _ in range(self.config.num_sets)
+        ]
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------ #
+    def _index_and_tag(self, address: int) -> Tuple[int, int]:
+        line_address = address // self.config.line_bytes
+        index = line_address % self.config.num_sets
+        tag = line_address // self.config.num_sets
+        return index, tag
+
+    def line_address(self, address: int) -> int:
+        """The cacheline-aligned address for ``address``."""
+
+        return (address // self.config.line_bytes) * self.config.line_bytes
+
+    # ------------------------------------------------------------------ #
+    def probe(self, address: int) -> bool:
+        """Check residency without updating LRU state or statistics."""
+
+        index, tag = self._index_and_tag(address)
+        return tag in self._sets[index]
+
+    def access(self, address: int, is_write: bool = False,
+               thread_id: Optional[int] = None) -> AccessResult:
+        """Perform an access; on a miss the line is *not* yet filled.
+
+        The caller is responsible for requesting the line from memory and
+        calling :meth:`fill` when the data returns.  This mirrors how an MSHR
+        based hierarchy works and lets BreakHammer's MSHR quotas gate fills.
+        """
+
+        index, tag = self._index_and_tag(address)
+        target_set = self._sets[index]
+        if tag in target_set:
+            line = target_set.pop(tag)
+            if is_write:
+                line.dirty = True
+            line.owner_thread = thread_id
+            target_set[tag] = line  # move to MRU position
+            self.stats.record(True, thread_id)
+            return AccessResult(hit=True, latency=self.config.hit_latency)
+        self.stats.record(False, thread_id)
+        return AccessResult(hit=False, latency=self.config.hit_latency)
+
+    def fill(self, address: int, is_write: bool = False,
+             thread_id: Optional[int] = None) -> Optional[int]:
+        """Install a line after its memory request returned.
+
+        Returns the writeback address of the evicted dirty victim, if any.
+        """
+
+        index, tag = self._index_and_tag(address)
+        target_set = self._sets[index]
+        writeback: Optional[int] = None
+        if tag in target_set:
+            line = target_set.pop(tag)
+            line.dirty = line.dirty or is_write
+            target_set[tag] = line
+            return None
+        if len(target_set) >= self.config.associativity:
+            victim_tag, victim = target_set.popitem(last=False)
+            self.stats.evictions += 1
+            if victim.dirty:
+                self.stats.writebacks += 1
+                victim_line_address = (
+                    victim_tag * self.config.num_sets + index
+                ) * self.config.line_bytes
+                writeback = victim_line_address
+        target_set[tag] = CacheLine(tag=tag, dirty=is_write,
+                                    owner_thread=thread_id)
+        return writeback
+
+    # ------------------------------------------------------------------ #
+    def occupancy(self) -> float:
+        lines = sum(len(s) for s in self._sets)
+        return lines / self.config.num_lines
+
+    def invalidate_all(self) -> None:
+        for target_set in self._sets:
+            target_set.clear()
+
+    def mpki(self, instructions: int) -> float:
+        """Misses per kilo-instruction over ``instructions`` retired."""
+
+        if instructions <= 0:
+            return 0.0
+        return 1000.0 * self.stats.misses / instructions

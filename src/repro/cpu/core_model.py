@@ -1,0 +1,189 @@
+"""Trace-driven core model.
+
+Each :class:`Core` replays one memory-access trace.  The model follows the
+style used by Ramulator-class simulators: a core issues up to ``issue_width``
+instructions per cycle; non-memory instructions retire immediately, memory
+instructions are sent to the cache hierarchy and occupy the instruction
+window until their data returns (reads) or immediately retire (writes).
+
+The core stalls when
+
+* its instruction window is full of outstanding loads, or
+* the memory hierarchy refuses the access — e.g. because the thread's MSHR
+  quota is exhausted (this is precisely how BreakHammer slows a suspect
+  thread down), or the controller's request queue is full.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from repro.cpu.trace import Trace, TraceCursor, TraceEntry
+
+# The system gives each core a send function: (core, trace_entry) -> bool.
+# Returning False means the hierarchy cannot accept the access this cycle
+# (e.g. the thread's MSHR quota is exhausted) and the core must retry.
+SendFunction = Callable[["Core", TraceEntry], bool]
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Microarchitectural parameters of a core (paper Table 1)."""
+
+    issue_width: int = 4
+    instruction_window: int = 128
+    frequency_ghz: float = 4.2
+
+    def __post_init__(self) -> None:
+        if self.issue_width <= 0:
+            raise ValueError("issue width must be positive")
+        if self.instruction_window <= 0:
+            raise ValueError("instruction window must be positive")
+
+
+@dataclass
+class CoreStats:
+    """Progress counters for one core."""
+
+    retired_instructions: int = 0
+    retired_memory_accesses: int = 0
+    issued_loads: int = 0
+    issued_stores: int = 0
+    stall_cycles_window: int = 0
+    stall_cycles_reject: int = 0
+    active_cycles: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self.__dict__)
+
+
+class Core:
+    """A trace-driven, in-order-issue core with out-of-order completion."""
+
+    def __init__(self, core_id: int, trace: Trace,
+                 config: Optional[CoreConfig] = None,
+                 send: Optional[SendFunction] = None) -> None:
+        self.core_id = core_id
+        self.trace = trace
+        self.config = config or CoreConfig()
+        self.send = send
+        self.cursor: TraceCursor = trace.cursor()
+        self.stats = CoreStats()
+
+        # Bubbles remaining before the current memory access can issue.
+        self._bubbles_left: Optional[int] = None
+        self._pending_entry: Optional[TraceEntry] = None
+        # Loads in flight (window occupancy).
+        self.outstanding_loads = 0
+        self.finished = False
+        self.finish_cycle: Optional[int] = None
+
+    # ------------------------------------------------------------------ #
+    def attach_send(self, send: SendFunction) -> None:
+        self.send = send
+
+    @property
+    def thread_id(self) -> int:
+        """Hardware-thread identity used for activation attribution."""
+
+        return self.core_id
+
+    @property
+    def retired_instructions(self) -> int:
+        return self.stats.retired_instructions
+
+    # ------------------------------------------------------------------ #
+    def _load_next_entry(self) -> bool:
+        if self._pending_entry is not None:
+            return True
+        entry = self.cursor.advance()
+        if entry is None:
+            return False
+        self._pending_entry = entry
+        self._bubbles_left = entry.bubble_count
+        return True
+
+    def tick(self, cycle: int) -> int:
+        """Issue up to ``issue_width`` instructions; return how many issued."""
+
+        if self.send is None:
+            raise RuntimeError("core has no send function attached")
+        if self.finished:
+            return 0
+        issued = 0
+        stalled = False
+        while issued < self.config.issue_width and not stalled:
+            if not self._load_next_entry():
+                # Trace exhausted (non-looping trace).
+                self.finished = True
+                self.finish_cycle = cycle
+                break
+            assert self._pending_entry is not None
+            assert self._bubbles_left is not None
+
+            if self._bubbles_left > 0:
+                # Retire as many non-memory instructions as the width allows.
+                retire = min(self._bubbles_left,
+                             self.config.issue_width - issued)
+                self._bubbles_left -= retire
+                self.stats.retired_instructions += retire
+                issued += retire
+                continue
+
+            # The memory access at the head of the window.
+            if self.outstanding_loads >= self.config.instruction_window:
+                self.stats.stall_cycles_window += 1
+                stalled = True
+                break
+            entry = self._pending_entry
+            accepted = self.send(self, entry)
+            if not accepted:
+                self.stats.stall_cycles_reject += 1
+                stalled = True
+                break
+            issued += 1
+            if entry.is_write:
+                # Stores retire immediately (write buffer assumed).
+                self.stats.issued_stores += 1
+                self.stats.retired_instructions += 1
+                self.stats.retired_memory_accesses += 1
+            else:
+                self.stats.issued_loads += 1
+                self.outstanding_loads += 1
+            self._pending_entry = None
+            self._bubbles_left = None
+        if issued:
+            self.stats.active_cycles += 1
+        return issued
+
+    # ------------------------------------------------------------------ #
+    def on_data_returned(self, cycle: int) -> None:
+        """Callback from the memory hierarchy when a load completes."""
+
+        if self.outstanding_loads <= 0:
+            raise RuntimeError("data returned with no outstanding load")
+        self.outstanding_loads -= 1
+        self.stats.retired_instructions += 1
+        self.stats.retired_memory_accesses += 1
+
+    # ------------------------------------------------------------------ #
+    def reached(self, instruction_limit: int) -> bool:
+        """Has the core retired at least ``instruction_limit`` instructions?"""
+
+        return self.stats.retired_instructions >= instruction_limit
+
+    def ipc(self, cycles: int) -> float:
+        if cycles <= 0:
+            return 0.0
+        return self.stats.retired_instructions / cycles
+
+    def snapshot(self) -> Dict[str, object]:
+        data = self.stats.as_dict()
+        data.update(
+            core_id=self.core_id,
+            trace=self.trace.name,
+            outstanding_loads=self.outstanding_loads,
+            finished=self.finished,
+        )
+        return data

@@ -1,0 +1,185 @@
+"""DMA-style memory requesters and their throttling support (paper §4.4).
+
+BreakHammer normally throttles a thread by limiting its LLC cache-miss
+buffers, but some request generators have no cache in front of them — DMA
+engines, accelerators, or cores without caches.  The paper's answer (§4.4)
+is to extend the request-serving unit with a small counter table that tracks
+each requester's *unresolved* (outstanding) memory requests and to cap that
+count instead, rather than throttling at the memory controller where blocked
+requests would clog shared queues.
+
+Two pieces implement that here:
+
+* :class:`OutstandingRequestTable` — the per-requester counter table with
+  quotas; it exposes the same ``set_quota`` interface as
+  :class:`repro.cpu.mshr.MshrFile`, so BreakHammer's throttler can drive
+  either one unchanged.
+* :class:`DmaEngine` — a simple streaming requester that issues reads/writes
+  over an address range at a configurable rate, tagged with its own thread
+  id, and respects the outstanding-request table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.controller.request import MemoryRequest, RequestType
+
+
+class OutstandingRequestTable:
+    """Tracks unresolved memory requests per requester, with quotas.
+
+    This is the §4.4 counter table: allocation succeeds only while the
+    requester's outstanding count is below both the table capacity and the
+    requester's quota.  BreakHammer reduces the quota of a suspect requester
+    exactly as it reduces an MSHR quota.
+    """
+
+    def __init__(self, capacity: int = 64, num_requesters: int = 1) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.num_requesters = num_requesters
+        self._outstanding: Dict[int, int] = {}
+        self._quota: Dict[int, int] = {
+            requester: capacity for requester in range(num_requesters)
+        }
+        self.rejections = 0
+        self.peak_outstanding = 0
+
+    # -- quota interface (same shape as MshrFile) ----------------------- #
+    def quota_for(self, requester_id: int) -> int:
+        return self._quota.get(requester_id, self.capacity)
+
+    def set_quota(self, requester_id: int, quota: int) -> None:
+        self._quota[requester_id] = max(0, min(self.capacity, quota))
+
+    def reset_quota(self, requester_id: int) -> None:
+        self._quota[requester_id] = self.capacity
+
+    # -- outstanding tracking ------------------------------------------- #
+    def outstanding_for(self, requester_id: int) -> int:
+        return self._outstanding.get(requester_id, 0)
+
+    def total_outstanding(self) -> int:
+        return sum(self._outstanding.values())
+
+    def can_issue(self, requester_id: int) -> bool:
+        if self.total_outstanding() >= self.capacity:
+            return False
+        return self.outstanding_for(requester_id) < self.quota_for(requester_id)
+
+    def issue(self, requester_id: int) -> bool:
+        """Record one new unresolved request; False if quota/capacity bound."""
+
+        if not self.can_issue(requester_id):
+            self.rejections += 1
+            return False
+        self._outstanding[requester_id] = self.outstanding_for(requester_id) + 1
+        self.peak_outstanding = max(self.peak_outstanding,
+                                    self.total_outstanding())
+        return True
+
+    def resolve(self, requester_id: int) -> None:
+        """Record the completion of one of the requester's requests."""
+
+        current = self.outstanding_for(requester_id)
+        if current <= 0:
+            raise RuntimeError(
+                f"requester {requester_id} has no unresolved requests"
+            )
+        self._outstanding[requester_id] = current - 1
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "capacity": self.capacity,
+            "outstanding": dict(self._outstanding),
+            "quotas": dict(self._quota),
+            "rejections": self.rejections,
+            "peak_outstanding": self.peak_outstanding,
+        }
+
+
+@dataclass
+class DmaConfig:
+    """Parameters of a streaming DMA engine."""
+
+    base_address: int = 0
+    length_bytes: int = 1 << 20
+    stride_bytes: int = 64
+    is_write: bool = False
+    #: Requests the engine tries to issue per cycle (its burst rate).
+    requests_per_cycle: int = 2
+
+    def __post_init__(self) -> None:
+        if self.length_bytes <= 0 or self.stride_bytes <= 0:
+            raise ValueError("length and stride must be positive")
+        if self.requests_per_cycle <= 0:
+            raise ValueError("requests_per_cycle must be positive")
+
+
+@dataclass
+class DmaStats:
+    issued: int = 0
+    completed: int = 0
+    stalled_cycles: int = 0
+
+
+class DmaEngine:
+    """A cache-less streaming requester (models the paper's DMA discussion).
+
+    The engine walks its address range, issuing up to ``requests_per_cycle``
+    memory requests per cycle through an enqueue callback supplied by the
+    system (normally :meth:`repro.controller.controller.MemoryController.enqueue`),
+    gated by an :class:`OutstandingRequestTable` that BreakHammer may
+    throttle.
+    """
+
+    def __init__(self, requester_id: int, config: DmaConfig,
+                 table: OutstandingRequestTable,
+                 enqueue: Callable[[MemoryRequest], bool]) -> None:
+        self.requester_id = requester_id
+        self.config = config
+        self.table = table
+        self.enqueue = enqueue
+        self.stats = DmaStats()
+        self._cursor = 0
+
+    @property
+    def thread_id(self) -> int:
+        """DMA requests carry a thread tag, just like core requests."""
+
+        return self.requester_id
+
+    def _next_address(self) -> int:
+        offset = (self._cursor * self.config.stride_bytes) % self.config.length_bytes
+        self._cursor += 1
+        return self.config.base_address + offset
+
+    def tick(self, cycle: int) -> int:
+        """Issue up to ``requests_per_cycle`` requests; return how many issued."""
+
+        issued = 0
+        for _ in range(self.config.requests_per_cycle):
+            if not self.table.can_issue(self.requester_id):
+                self.stats.stalled_cycles += 1
+                break
+            request = MemoryRequest(
+                address=self._next_address(),
+                kind=RequestType.WRITE if self.config.is_write else RequestType.READ,
+                thread_id=self.requester_id,
+                arrival_cycle=cycle,
+                on_complete=self._on_complete,
+            )
+            if not self.enqueue(request):
+                self.stats.stalled_cycles += 1
+                break
+            self.table.issue(self.requester_id)
+            self.stats.issued += 1
+            issued += 1
+        return issued
+
+    def _on_complete(self, request: MemoryRequest, cycle: int) -> None:
+        self.table.resolve(self.requester_id)
+        self.stats.completed += 1

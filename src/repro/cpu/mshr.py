@@ -1,0 +1,157 @@
+"""Miss-status-holding registers (MSHRs) with per-thread quotas.
+
+The LLC tracks outstanding misses in a shared pool of MSHRs.  BreakHammer's
+throttling lever (paper §4.3) is exactly this pool: a suspect thread's quota
+``Q_i`` is reduced so it can keep at most ``Q_i`` outstanding LLC misses,
+while accesses that *hit* an existing MSHR (secondary misses) are still
+allowed — the suspect can keep using data that is already being fetched.
+
+The :class:`MshrFile` therefore distinguishes:
+
+* *primary miss* — needs a free MSHR **and** headroom in the thread's quota;
+* *secondary miss* — the line is already being fetched; always allowed and
+  merged into the existing entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class MshrEntry:
+    """One outstanding LLC miss."""
+
+    line_address: int
+    thread_id: Optional[int]
+    allocated_cycle: int
+    is_write: bool = False
+    merged_accesses: int = 0
+    waiters: List[object] = field(default_factory=list)
+
+
+class MshrFile:
+    """A bounded pool of MSHRs with per-thread allocation quotas."""
+
+    def __init__(self, total_entries: int = 64,
+                 num_threads: int = 4) -> None:
+        if total_entries <= 0:
+            raise ValueError("MSHR file must have at least one entry")
+        self.total_entries = total_entries
+        self.num_threads = num_threads
+        self._entries: Dict[int, MshrEntry] = {}
+        # Per-thread quota; defaults to the full pool (no throttling).
+        self._quota: Dict[int, int] = {
+            thread: total_entries for thread in range(num_threads)
+        }
+        self.stats_allocations = 0
+        self.stats_merges = 0
+        self.stats_quota_rejections = 0
+        self.stats_capacity_rejections = 0
+        self.peak_occupancy = 0
+
+    # ------------------------------------------------------------------ #
+    # Quota management (driven by BreakHammer's throttler)
+    # ------------------------------------------------------------------ #
+    def quota_for(self, thread_id: int) -> int:
+        return self._quota.get(thread_id, self.total_entries)
+
+    def set_quota(self, thread_id: int, quota: int) -> None:
+        """Set a thread's MSHR quota (clamped to ``[0, total_entries]``)."""
+
+        self._quota[thread_id] = max(0, min(self.total_entries, quota))
+
+    def reset_quota(self, thread_id: int) -> None:
+        self._quota[thread_id] = self.total_entries
+
+    def reset_all_quotas(self) -> None:
+        for thread in list(self._quota):
+            self._quota[thread] = self.total_entries
+
+    # ------------------------------------------------------------------ #
+    # Occupancy queries
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def free_entries(self) -> int:
+        return self.total_entries - len(self._entries)
+
+    def outstanding_for(self, thread_id: Optional[int]) -> int:
+        if thread_id is None:
+            return 0
+        return sum(
+            1 for entry in self._entries.values() if entry.thread_id == thread_id
+        )
+
+    def lookup(self, line_address: int) -> Optional[MshrEntry]:
+        return self._entries.get(line_address)
+
+    # ------------------------------------------------------------------ #
+    # Allocation
+    # ------------------------------------------------------------------ #
+    def can_allocate(self, thread_id: Optional[int]) -> bool:
+        """Check quota and capacity for a *primary* miss by ``thread_id``."""
+
+        if self.free_entries <= 0:
+            return False
+        if thread_id is None:
+            return True
+        return self.outstanding_for(thread_id) < self.quota_for(thread_id)
+
+    def allocate(self, line_address: int, thread_id: Optional[int],
+                 cycle: int, is_write: bool = False) -> Optional[MshrEntry]:
+        """Allocate an MSHR for a primary miss, or merge a secondary miss.
+
+        Returns the entry on success (new or merged).  Returns ``None`` if
+        the miss is primary and either the pool is full or the thread's quota
+        is exhausted — the caller must retry later (this is how throttling
+        slows a suspect thread down).
+        """
+
+        existing = self._entries.get(line_address)
+        if existing is not None:
+            existing.merged_accesses += 1
+            existing.is_write = existing.is_write or is_write
+            self.stats_merges += 1
+            return existing
+
+        if self.free_entries <= 0:
+            self.stats_capacity_rejections += 1
+            return None
+        if thread_id is not None and (
+            self.outstanding_for(thread_id) >= self.quota_for(thread_id)
+        ):
+            self.stats_quota_rejections += 1
+            return None
+
+        entry = MshrEntry(
+            line_address=line_address,
+            thread_id=thread_id,
+            allocated_cycle=cycle,
+            is_write=is_write,
+        )
+        self._entries[line_address] = entry
+        self.stats_allocations += 1
+        self.peak_occupancy = max(self.peak_occupancy, len(self._entries))
+        return entry
+
+    def release(self, line_address: int) -> Optional[MshrEntry]:
+        """Free the MSHR for ``line_address`` (when the fill returns)."""
+
+        return self._entries.pop(line_address, None)
+
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "total_entries": self.total_entries,
+            "occupied": len(self._entries),
+            "peak_occupancy": self.peak_occupancy,
+            "allocations": self.stats_allocations,
+            "merges": self.stats_merges,
+            "quota_rejections": self.stats_quota_rejections,
+            "capacity_rejections": self.stats_capacity_rejections,
+            "quotas": dict(self._quota),
+        }

@@ -1,0 +1,206 @@
+"""Memory-access traces.
+
+A trace is the unit a core executes: an ordered list of
+:class:`TraceEntry` records, each describing a burst of non-memory
+instructions followed by one memory access (the same "bubble count + address"
+format Ramulator-style trace-driven cores consume).
+
+Traces can be generated synthetically (see :mod:`repro.workloads`), saved to
+and loaded from a simple text format, and characterised (RBMPKI, per-row
+activation pressure) for the paper's Table 3.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One trace record: ``bubble_count`` non-memory instructions, then a
+    memory access to ``address`` (a write when ``is_write`` is ``True``).
+
+    ``bypass_cache`` marks the access as non-cacheable: it always goes to
+    DRAM.  Attack traces use it to model the cache-line flushing
+    (``clflush``/eviction) every real RowHammer attack performs so that each
+    access reaches a DRAM row.
+    """
+
+    bubble_count: int
+    address: int
+    is_write: bool = False
+    bypass_cache: bool = False
+
+    def __post_init__(self) -> None:
+        if self.bubble_count < 0:
+            raise ValueError("bubble_count must be non-negative")
+        if self.address < 0:
+            raise ValueError("address must be non-negative")
+
+    @property
+    def instructions(self) -> int:
+        """Instructions represented by this entry (bubbles + 1 memory op)."""
+
+        return self.bubble_count + 1
+
+
+@dataclass
+class TraceWindowStats:
+    """Characteristics of a trace over a time/interval window (Table 3)."""
+
+    instructions: int
+    memory_accesses: int
+    distinct_rows: int
+    rows_over_512: int
+    rows_over_128: int
+    rows_over_64: int
+    rbmpki: float
+
+    def as_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+class Trace:
+    """An ordered memory-access trace for one hardware thread."""
+
+    def __init__(self, entries: Sequence[TraceEntry], name: str = "trace",
+                 loop: bool = True) -> None:
+        self.entries: List[TraceEntry] = list(entries)
+        self.name = name
+        self.loop = loop
+        if not self.entries:
+            raise ValueError("a trace must contain at least one entry")
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[TraceEntry]:
+        return iter(self.entries)
+
+    def __getitem__(self, index: int) -> TraceEntry:
+        return self.entries[index]
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(entry.instructions for entry in self.entries)
+
+    @property
+    def memory_accesses(self) -> int:
+        return len(self.entries)
+
+    @property
+    def write_fraction(self) -> float:
+        writes = sum(1 for entry in self.entries if entry.is_write)
+        return writes / len(self.entries)
+
+    def cursor(self) -> "TraceCursor":
+        return TraceCursor(self)
+
+    # ------------------------------------------------------------------ #
+    # Persistence (simple whitespace-separated text format)
+    # ------------------------------------------------------------------ #
+    def dump(self, path: Path | str) -> None:
+        """Write the trace in ``bubble address R|W`` text format."""
+
+        path = Path(path)
+        with path.open("w", encoding="utf-8") as handle:
+            self.write_to(handle)
+
+    def write_to(self, handle: io.TextIOBase) -> None:
+        for entry in self.entries:
+            kind = "W" if entry.is_write else "R"
+            if entry.bypass_cache:
+                kind += "!"
+            handle.write(f"{entry.bubble_count} {entry.address} {kind}\n")
+
+    @classmethod
+    def load(cls, path: Path | str, name: Optional[str] = None,
+             loop: bool = True) -> "Trace":
+        path = Path(path)
+        with path.open("r", encoding="utf-8") as handle:
+            return cls.parse(handle, name=name or path.stem, loop=loop)
+
+    @classmethod
+    def parse(cls, handle: Iterable[str], name: str = "trace",
+              loop: bool = True) -> "Trace":
+        entries: List[TraceEntry] = []
+        for line_number, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            parts = stripped.split()
+            if len(parts) < 2:
+                raise ValueError(
+                    f"malformed trace line {line_number}: {stripped!r}"
+                )
+            bubble = int(parts[0])
+            address = int(parts[1], 0)
+            kind = parts[2].upper() if len(parts) > 2 else "R"
+            is_write = kind.startswith("W")
+            bypass = kind.endswith("!")
+            entries.append(TraceEntry(bubble, address, is_write, bypass))
+        return cls(entries, name=name, loop=loop)
+
+    # ------------------------------------------------------------------ #
+    def characterize(self, mapper, window_entries: Optional[int] = None
+                     ) -> TraceWindowStats:
+        """Summarise the trace the way the paper's Table 3 does.
+
+        ``mapper`` is a :class:`repro.dram.address.AddressMapper`; rows are
+        counted in DRAM-coordinate space so the result reflects the actual
+        activation pressure the trace can exert.
+        """
+
+        entries = self.entries[:window_entries] if window_entries else self.entries
+        row_counts: dict = {}
+        for entry in entries:
+            coord = mapper.map(entry.address)
+            row_counts[coord.row_key] = row_counts.get(coord.row_key, 0) + 1
+        instructions = sum(entry.instructions for entry in entries)
+        memory_accesses = len(entries)
+        rbmpki = (
+            1000.0 * memory_accesses / instructions if instructions else 0.0
+        )
+        return TraceWindowStats(
+            instructions=instructions,
+            memory_accesses=memory_accesses,
+            distinct_rows=len(row_counts),
+            rows_over_512=sum(1 for c in row_counts.values() if c > 512),
+            rows_over_128=sum(1 for c in row_counts.values() if c > 128),
+            rows_over_64=sum(1 for c in row_counts.values() if c > 64),
+            rbmpki=rbmpki,
+        )
+
+
+class TraceCursor:
+    """An iterator over a trace that can loop and reports progress."""
+
+    def __init__(self, trace: Trace) -> None:
+        self.trace = trace
+        self.position = 0
+        self.wraps = 0
+        self.entries_consumed = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return not self.trace.loop and self.position >= len(self.trace)
+
+    def peek(self) -> Optional[TraceEntry]:
+        if self.exhausted:
+            return None
+        return self.trace[self.position % len(self.trace)]
+
+    def advance(self) -> Optional[TraceEntry]:
+        entry = self.peek()
+        if entry is None:
+            return None
+        self.position += 1
+        self.entries_consumed += 1
+        if self.trace.loop and self.position >= len(self.trace):
+            self.position = 0
+            self.wraps += 1
+        return entry

@@ -1,0 +1,45 @@
+"""DRAM device substrate.
+
+This package models a DDR5-style DRAM memory system at command granularity:
+
+* :mod:`repro.dram.config` — device geometry and timing parameters,
+* :mod:`repro.dram.commands` — the DRAM command vocabulary,
+* :mod:`repro.dram.timing` — timing-constraint bookkeeping,
+* :mod:`repro.dram.bank` — per-bank row state machines,
+* :mod:`repro.dram.device` — ranks/channels composed of banks,
+* :mod:`repro.dram.refresh` — periodic refresh and refresh-management state,
+* :mod:`repro.dram.address` — physical-address to DRAM-coordinate mapping,
+* :mod:`repro.dram.energy` — a per-command DRAM energy model.
+
+The model is intentionally simpler than a full JEDEC implementation, but it
+preserves the properties the BreakHammer study depends on: row activations are
+explicit and countable, preventive refreshes and RFM commands block banks for
+realistic durations, and every command consumes energy.
+"""
+
+from repro.dram.address import AddressMapper, DramAddress, MappingScheme
+from repro.dram.bank import Bank, BankState
+from repro.dram.commands import Command, CommandType
+from repro.dram.config import DeviceConfig, TimingParameters
+from repro.dram.device import Channel, Rank
+from repro.dram.energy import EnergyModel, EnergyReport
+from repro.dram.refresh import RefreshManager
+from repro.dram.timing import TimingChecker
+
+__all__ = [
+    "AddressMapper",
+    "Bank",
+    "BankState",
+    "Channel",
+    "Command",
+    "CommandType",
+    "DeviceConfig",
+    "DramAddress",
+    "EnergyModel",
+    "EnergyReport",
+    "MappingScheme",
+    "Rank",
+    "RefreshManager",
+    "TimingChecker",
+    "TimingParameters",
+]

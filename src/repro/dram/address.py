@@ -1,0 +1,222 @@
+"""Physical-address to DRAM-coordinate mapping.
+
+The memory controller maps cacheline-aligned physical addresses onto
+``(channel, rank, bank_group, bank, row, column)`` tuples.  The paper's
+configuration uses the MOP (Minimalist Open-Page) mapping [Kaseridis+,
+MICRO'11], which places a small number of consecutive cachelines in the same
+row before striping across banks; we also provide the classic
+row-interleaved ("RoBaRaCoCh") and bank-interleaved ("open page") schemes for
+sensitivity studies and tests.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.dram.config import DeviceConfig
+
+
+class MappingScheme(enum.Enum):
+    """Supported address-interleaving schemes."""
+
+    MOP = "mop"
+    ROW_INTERLEAVED = "row_interleaved"
+    BANK_INTERLEAVED = "bank_interleaved"
+
+
+@dataclass(frozen=True)
+class DramAddress:
+    """A fully decoded DRAM coordinate."""
+
+    channel: int
+    rank: int
+    bank_group: int
+    bank: int
+    row: int
+    column: int
+
+    @property
+    def bank_key(self) -> tuple:
+        """Hashable identity of the bank this address maps to."""
+
+        return (self.channel, self.rank, self.bank_group, self.bank)
+
+    @property
+    def row_key(self) -> tuple:
+        """Hashable identity of the row this address maps to."""
+
+        return (self.channel, self.rank, self.bank_group, self.bank, self.row)
+
+
+def _split(value: int, size: int) -> tuple:
+    """Split ``value`` into ``(value // size, value % size)``."""
+
+    return value // size, value % size
+
+
+class AddressMapper:
+    """Maps cacheline addresses to DRAM coordinates and back."""
+
+    def __init__(self, config: DeviceConfig,
+                 scheme: MappingScheme = MappingScheme.MOP,
+                 mop_lines: int = 4) -> None:
+        self.config = config
+        self.scheme = scheme
+        # Number of consecutive cachelines kept in the same row before
+        # switching banks (MOP parameter).
+        self.mop_lines = max(1, mop_lines)
+
+    # ------------------------------------------------------------------ #
+    def map(self, address: int) -> DramAddress:
+        """Decode a byte address into a DRAM coordinate."""
+
+        line = address // self.config.cacheline_bytes
+        if self.scheme is MappingScheme.MOP:
+            return self._map_mop(line)
+        if self.scheme is MappingScheme.ROW_INTERLEAVED:
+            return self._map_row_interleaved(line)
+        return self._map_bank_interleaved(line)
+
+    def reverse(self, coordinate: DramAddress) -> int:
+        """Re-encode a coordinate into a representative byte address.
+
+        ``map(reverse(x)) == x`` for every valid coordinate, which the test
+        suite uses to verify that the mapping is a bijection.  Out-of-range
+        rows/columns are wrapped into the device geometry.
+        """
+
+        cfg = self.config
+        coordinate = DramAddress(
+            channel=coordinate.channel % cfg.channels,
+            rank=coordinate.rank % cfg.ranks,
+            bank_group=coordinate.bank_group % cfg.bank_groups,
+            bank=coordinate.bank % cfg.banks_per_group,
+            row=coordinate.row % cfg.rows_per_bank,
+            column=coordinate.column % cfg.cachelines_per_row,
+        )
+        if self.scheme is MappingScheme.MOP:
+            lines_per_row = cfg.cachelines_per_row
+            blocks_per_row = lines_per_row // self.mop_lines
+            block_in_row, line_in_block = _split(coordinate.column, 1)[0], 0
+            # column stores the cacheline offset within the row directly.
+            block_in_row = coordinate.column // self.mop_lines
+            line_in_block = coordinate.column % self.mop_lines
+            bank_linear = (
+                (coordinate.rank * cfg.bank_groups + coordinate.bank_group)
+                * cfg.banks_per_group
+                + coordinate.bank
+            )
+            banks = cfg.ranks * cfg.banks_per_rank
+            line = (
+                (
+                    (coordinate.row * blocks_per_row + block_in_row) * banks
+                    + bank_linear
+                )
+                * self.mop_lines
+                + line_in_block
+            ) * cfg.channels + coordinate.channel
+            return line * cfg.cacheline_bytes
+        if self.scheme is MappingScheme.ROW_INTERLEAVED:
+            lines_per_row = cfg.cachelines_per_row
+            bank_linear = (
+                (coordinate.rank * cfg.bank_groups + coordinate.bank_group)
+                * cfg.banks_per_group
+                + coordinate.bank
+            )
+            banks = cfg.ranks * cfg.banks_per_rank
+            line = (
+                (coordinate.row * banks + bank_linear) * lines_per_row
+                + coordinate.column
+            ) * cfg.channels + coordinate.channel
+            return line * cfg.cacheline_bytes
+        # bank interleaved
+        lines_per_row = cfg.cachelines_per_row
+        banks = cfg.ranks * cfg.banks_per_rank
+        bank_linear = (
+            (coordinate.rank * cfg.bank_groups + coordinate.bank_group)
+            * cfg.banks_per_group
+            + coordinate.bank
+        )
+        line = (
+            (coordinate.row * lines_per_row + coordinate.column) * banks
+            + bank_linear
+        ) * cfg.channels + coordinate.channel
+        return line * cfg.cacheline_bytes
+
+    # ------------------------------------------------------------------ #
+    def _decompose_bank(self, bank_linear: int) -> tuple:
+        cfg = self.config
+        rank, rest = _split(bank_linear, cfg.banks_per_rank)
+        bank_group, bank = _split(rest, cfg.banks_per_group)
+        return rank % cfg.ranks, bank_group, bank
+
+    def _map_mop(self, line: int) -> DramAddress:
+        """MOP: channel | mop-block | bank | row-block | row."""
+
+        cfg = self.config
+        rest, channel = _split(line, cfg.channels)
+        rest, line_in_block = _split(rest, self.mop_lines)
+        banks = cfg.ranks * cfg.banks_per_rank
+        rest, bank_linear = _split(rest, banks)
+        blocks_per_row = max(1, cfg.cachelines_per_row // self.mop_lines)
+        row, block_in_row = _split(rest, blocks_per_row)
+        rank, bank_group, bank = self._decompose_bank(bank_linear)
+        column = block_in_row * self.mop_lines + line_in_block
+        return DramAddress(
+            channel=channel,
+            rank=rank,
+            bank_group=bank_group,
+            bank=bank,
+            row=row % cfg.rows_per_bank,
+            column=column % cfg.cachelines_per_row,
+        )
+
+    def _map_row_interleaved(self, line: int) -> DramAddress:
+        """Consecutive cachelines fill a row before moving to the next bank."""
+
+        cfg = self.config
+        rest, channel = _split(line, cfg.channels)
+        rest, column = _split(rest, cfg.cachelines_per_row)
+        banks = cfg.ranks * cfg.banks_per_rank
+        row, bank_linear = _split(rest, banks)
+        rank, bank_group, bank = self._decompose_bank(bank_linear)
+        return DramAddress(
+            channel=channel,
+            rank=rank,
+            bank_group=bank_group,
+            bank=bank,
+            row=row % cfg.rows_per_bank,
+            column=column,
+        )
+
+    def _map_bank_interleaved(self, line: int) -> DramAddress:
+        """Consecutive cachelines stripe across banks (closed-page friendly)."""
+
+        cfg = self.config
+        rest, channel = _split(line, cfg.channels)
+        banks = cfg.ranks * cfg.banks_per_rank
+        rest, bank_linear = _split(rest, banks)
+        row, column = _split(rest, cfg.cachelines_per_row)
+        rank, bank_group, bank = self._decompose_bank(bank_linear)
+        return DramAddress(
+            channel=channel,
+            rank=rank,
+            bank_group=bank_group,
+            bank=bank,
+            row=row % cfg.rows_per_bank,
+            column=column,
+        )
+
+    # ------------------------------------------------------------------ #
+    def address_for_row(self, channel: int, rank: int, bank_group: int,
+                        bank: int, row: int, column: int = 0) -> int:
+        """Construct a byte address that maps to the given row.
+
+        Workload generators use this to craft access streams that hammer a
+        specific DRAM row regardless of the active mapping scheme.
+        """
+
+        return self.reverse(
+            DramAddress(channel, rank, bank_group, bank, row, column)
+        )

@@ -1,0 +1,290 @@
+"""DRAM device geometry and timing configuration.
+
+Two presets are provided, mirroring the configurations used by the paper:
+
+* :func:`DeviceConfig.ddr5_4800` — the paper's evaluated system (Table 1):
+  DDR5, one channel, two ranks, eight bank groups with two banks each
+  (32 banks total), 64K rows per bank.
+* :func:`DeviceConfig.ddr4_3200` — a DDR4-style configuration used by some
+  unit tests and sensitivity studies.
+
+All timing parameters are stored in nanoseconds and converted to controller
+clock cycles by :class:`TimingParameters.in_cycles`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class TimingParameters:
+    """DRAM timing parameters, in nanoseconds.
+
+    Only the constraints that influence the BreakHammer study are modelled.
+    The values are representative of DDR5-4800 / DDR4-3200 datasheets rather
+    than exact copies of any vendor part.
+    """
+
+    tck: float = 0.416  # clock period
+    trcd: float = 16.0  # ACT -> RD/WR on same bank
+    trp: float = 16.0  # PRE -> ACT on same bank
+    tras: float = 32.0  # ACT -> PRE on same bank
+    trc: float = 48.0  # ACT -> ACT on same bank
+    trrd_s: float = 2.5  # ACT -> ACT different bank group
+    trrd_l: float = 5.0  # ACT -> ACT same bank group
+    tfaw: float = 13.33  # four-activate window per rank
+    tccd_s: float = 2.5  # RD -> RD different bank group
+    tccd_l: float = 5.0  # RD -> RD same bank group
+    twr: float = 30.0  # write recovery (WR -> PRE)
+    twtr: float = 10.0  # WR -> RD turnaround
+    trtp: float = 7.5  # RD -> PRE
+    trfc: float = 295.0  # refresh cycle time (REF blocks the rank)
+    trefi: float = 3900.0  # refresh interval (DDR5: 3.9 us)
+    trfm: float = 195.0  # RFM command blocking time
+    tvrr: float = 60.0  # one victim-row refresh (preventive refresh) per row
+    tbl: float = 3.33  # data burst length on the bus (BL16 at 4800 MT/s)
+    refresh_window_ms: float = 32.0  # tREFW: every row refreshed once per window
+
+    def compressed(self, factor: float) -> "TimingParameters":
+        """Return timings with every service time divided by ``factor``.
+
+        Used by the scaled simulation profile: compressing DRAM service
+        times lets a short Python run contain as many row activations (and
+        therefore as many mitigation triggers) as a much longer run would,
+        while keeping every *relative* relationship between timing
+        parameters intact.  ``tck`` (the clock) is not changed.
+        """
+
+        if factor <= 0:
+            raise ValueError("compression factor must be positive")
+        return TimingParameters(
+            tck=self.tck,
+            trcd=self.trcd / factor,
+            trp=self.trp / factor,
+            tras=self.tras / factor,
+            trc=self.trc / factor,
+            trrd_s=self.trrd_s / factor,
+            trrd_l=self.trrd_l / factor,
+            tfaw=self.tfaw / factor,
+            tccd_s=self.tccd_s / factor,
+            tccd_l=self.tccd_l / factor,
+            twr=self.twr / factor,
+            twtr=self.twtr / factor,
+            trtp=self.trtp / factor,
+            trfc=self.trfc / factor,
+            trefi=self.trefi / factor,
+            trfm=self.trfm / factor,
+            tvrr=self.tvrr / factor,
+            tbl=self.tbl / factor,
+            refresh_window_ms=self.refresh_window_ms / factor,
+        )
+
+    def in_cycles(self) -> "TimingCycles":
+        """Convert all parameters to integer controller clock cycles."""
+
+        def cyc(ns: float) -> int:
+            return max(1, int(math.ceil(ns / self.tck)))
+
+        return TimingCycles(
+            trcd=cyc(self.trcd),
+            trp=cyc(self.trp),
+            tras=cyc(self.tras),
+            trc=cyc(self.trc),
+            trrd_s=cyc(self.trrd_s),
+            trrd_l=cyc(self.trrd_l),
+            tfaw=cyc(self.tfaw),
+            tccd_s=cyc(self.tccd_s),
+            tccd_l=cyc(self.tccd_l),
+            twr=cyc(self.twr),
+            twtr=cyc(self.twtr),
+            trtp=cyc(self.trtp),
+            trfc=cyc(self.trfc),
+            trefi=cyc(self.trefi),
+            trfm=cyc(self.trfm),
+            tvrr=cyc(self.tvrr),
+            tbl=cyc(self.tbl),
+            refresh_window=cyc(self.refresh_window_ms * 1e6),
+        )
+
+
+@dataclass(frozen=True)
+class TimingCycles:
+    """Timing parameters expressed in integer controller cycles."""
+
+    trcd: int
+    trp: int
+    tras: int
+    trc: int
+    trrd_s: int
+    trrd_l: int
+    tfaw: int
+    tccd_s: int
+    tccd_l: int
+    twr: int
+    twtr: int
+    trtp: int
+    trfc: int
+    trefi: int
+    trfm: int
+    tvrr: int
+    tbl: int
+    refresh_window: int
+
+
+@dataclass(frozen=True)
+class DeviceConfig:
+    """Geometry and timing of the simulated DRAM subsystem.
+
+    The default geometry matches the paper's Table 1: one channel, two ranks,
+    eight bank groups per rank, two banks per bank group and 64K rows per
+    bank.  ``rows_per_bank`` may be reduced in tests to keep state small; all
+    address arithmetic derives from the fields rather than hard-coded shifts.
+    """
+
+    name: str = "ddr5_4800"
+    channels: int = 1
+    ranks: int = 2
+    bank_groups: int = 8
+    banks_per_group: int = 2
+    rows_per_bank: int = 65536
+    columns_per_row: int = 1024
+    device_width_bits: int = 64
+    cacheline_bytes: int = 64
+    timings: TimingParameters = field(default_factory=TimingParameters)
+
+    # ------------------------------------------------------------------ #
+    # Derived geometry
+    # ------------------------------------------------------------------ #
+    @property
+    def banks_per_rank(self) -> int:
+        return self.bank_groups * self.banks_per_group
+
+    @property
+    def total_banks(self) -> int:
+        return self.channels * self.ranks * self.banks_per_rank
+
+    @property
+    def row_size_bytes(self) -> int:
+        return self.columns_per_row * (self.device_width_bits // 8)
+
+    @property
+    def columns_per_cacheline(self) -> int:
+        return max(1, self.cacheline_bytes // (self.device_width_bits // 8))
+
+    @property
+    def cachelines_per_row(self) -> int:
+        return max(1, self.row_size_bytes // self.cacheline_bytes)
+
+    @property
+    def capacity_bytes(self) -> int:
+        return (
+            self.channels
+            * self.ranks
+            * self.banks_per_rank
+            * self.rows_per_bank
+            * self.row_size_bytes
+        )
+
+    def timing_cycles(self) -> TimingCycles:
+        return self.timings.in_cycles()
+
+    def scaled(self, **overrides) -> "DeviceConfig":
+        """Return a copy of this configuration with fields replaced.
+
+        Convenience for tests and benchmarks that need smaller geometries.
+        """
+
+        return replace(self, **overrides)
+
+    def time_compressed(self, factor: float) -> "DeviceConfig":
+        """Return a copy with DRAM service times divided by ``factor``.
+
+        See :meth:`TimingParameters.compressed`; used by the fast simulation
+        profile so short runs exhibit enough row activations to exercise
+        RowHammer mitigation triggers.
+        """
+
+        return replace(self, timings=self.timings.compressed(factor),
+                       name=f"{self.name}_x{factor:g}")
+
+    # ------------------------------------------------------------------ #
+    # Presets
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def ddr5_4800(cls, **overrides) -> "DeviceConfig":
+        """The paper's evaluated DDR5 configuration (Table 1)."""
+
+        cfg = cls()
+        return cfg.scaled(**overrides) if overrides else cfg
+
+    @classmethod
+    def ddr4_3200(cls, **overrides) -> "DeviceConfig":
+        """A DDR4-3200-style configuration (single rank, 16 banks)."""
+
+        timings = TimingParameters(
+            tck=0.625,
+            trcd=13.75,
+            trp=13.75,
+            tras=32.0,
+            trc=45.75,
+            trrd_s=2.5,
+            trrd_l=4.9,
+            tfaw=21.0,
+            tccd_s=2.5,
+            tccd_l=5.0,
+            twr=15.0,
+            twtr=7.5,
+            trtp=7.5,
+            trfc=350.0,
+            trefi=7800.0,
+            trfm=350.0,
+            tvrr=60.0,
+            tbl=2.5,
+            refresh_window_ms=64.0,
+        )
+        cfg = cls(
+            name="ddr4_3200",
+            channels=1,
+            ranks=1,
+            bank_groups=4,
+            banks_per_group=4,
+            rows_per_bank=65536,
+            columns_per_row=1024,
+            timings=timings,
+        )
+        return cfg.scaled(**overrides) if overrides else cfg
+
+    @classmethod
+    def tiny(cls, **overrides) -> "DeviceConfig":
+        """A deliberately small geometry for fast unit tests."""
+
+        cfg = cls(
+            name="tiny",
+            channels=1,
+            ranks=1,
+            bank_groups=2,
+            banks_per_group=2,
+            rows_per_bank=256,
+            columns_per_row=64,
+        )
+        return cfg.scaled(**overrides) if overrides else cfg
+
+    def describe(self) -> Dict[str, object]:
+        """Return a dictionary summary (used by the Table 1 benchmark)."""
+
+        return {
+            "name": self.name,
+            "channels": self.channels,
+            "ranks": self.ranks,
+            "bank_groups": self.bank_groups,
+            "banks_per_group": self.banks_per_group,
+            "banks_total": self.total_banks,
+            "rows_per_bank": self.rows_per_bank,
+            "row_size_bytes": self.row_size_bytes,
+            "capacity_bytes": self.capacity_bytes,
+            "tck_ns": self.timings.tck,
+            "refresh_window_ms": self.timings.refresh_window_ms,
+        }

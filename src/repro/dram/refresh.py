@@ -1,0 +1,104 @@
+"""Periodic refresh scheduling.
+
+The memory controller must issue one all-bank REF per rank every tREFI so the
+whole device is refreshed once per refresh window (tREFW).  RowHammer
+mitigations add *extra* maintenance traffic on top of this baseline;
+:class:`RefreshManager` provides the baseline.
+
+The manager purposefully lives outside the controller so tests can drive it
+in isolation, and so alternative refresh policies (e.g. per-bank refresh) can
+be swapped in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.dram.commands import Command, CommandType
+from repro.dram.config import DeviceConfig
+
+
+@dataclass
+class RefreshState:
+    """Book-keeping for one rank's periodic refresh."""
+
+    rank: int
+    next_refresh_cycle: int
+    pending: bool = False
+    issued_count: int = 0
+    postponed: int = 0
+
+
+class RefreshManager:
+    """Generates REF commands for each rank every tREFI cycles.
+
+    The controller calls :meth:`tick` every cycle; when a refresh becomes due
+    the manager marks it pending, and the controller issues it as soon as the
+    rank can accept it (all banks precharged).  The manager tracks how many
+    refreshes were postponed past their nominal deadline, which the test
+    suite uses to verify that refresh starvation cannot happen.
+    """
+
+    def __init__(self, config: DeviceConfig, channel: int = 0) -> None:
+        self.config = config
+        self.channel = channel
+        self.timing = config.timing_cycles()
+        self.states: List[RefreshState] = [
+            RefreshState(rank=r, next_refresh_cycle=self.timing.trefi)
+            for r in range(config.ranks)
+        ]
+        # Maximum number of tREFI intervals a refresh may be deferred
+        # (JEDEC allows postponing up to 4 refresh commands).
+        self.max_postpone = 4
+
+    def tick(self, cycle: int) -> None:
+        """Advance refresh deadlines; mark refreshes pending when due."""
+
+        for state in self.states:
+            if not state.pending and cycle >= state.next_refresh_cycle:
+                state.pending = True
+
+    def pending_refresh(self, cycle: int) -> Optional[Command]:
+        """Return the most urgent pending REF command, if any."""
+
+        best: Optional[RefreshState] = None
+        for state in self.states:
+            if state.pending:
+                if best is None or state.next_refresh_cycle < best.next_refresh_cycle:
+                    best = state
+        if best is None:
+            return None
+        return Command(CommandType.REF, channel=self.channel, rank=best.rank)
+
+    def urgency(self, rank: int, cycle: int) -> float:
+        """How overdue rank's refresh is, in units of tREFI (0 = not pending)."""
+
+        state = self.states[rank]
+        if not state.pending:
+            return 0.0
+        return max(0.0, (cycle - state.next_refresh_cycle) / self.timing.trefi)
+
+    def must_refresh_now(self, rank: int, cycle: int) -> bool:
+        """True when the refresh can no longer be postponed."""
+
+        return self.urgency(rank, cycle) >= self.max_postpone
+
+    def refresh_issued(self, rank: int, cycle: int) -> None:
+        """Notify the manager that a REF was issued for ``rank``."""
+
+        state = self.states[rank]
+        if cycle > state.next_refresh_cycle:
+            state.postponed += 1
+        state.pending = False
+        state.issued_count += 1
+        state.next_refresh_cycle += self.timing.trefi
+
+    # ------------------------------------------------------------------ #
+    def total_refreshes(self) -> int:
+        return sum(state.issued_count for state in self.states)
+
+    def expected_refreshes(self, cycles: int) -> int:
+        """Number of REFs per rank expected for a run of ``cycles`` cycles."""
+
+        return cycles // self.timing.trefi

@@ -1,0 +1,128 @@
+"""Stand-alone timing-constraint checking utilities.
+
+The bank and rank models enforce timing internally; :class:`TimingChecker`
+provides an independent, declarative view of the same constraints that the
+test suite uses to cross-check the device model, and that the controller can
+query to estimate when a command might become issuable without mutating any
+device state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.dram.commands import CommandType
+from repro.dram.config import DeviceConfig, TimingCycles
+
+
+@dataclass(frozen=True)
+class TimingRule:
+    """A minimum-separation rule between two commands.
+
+    ``scope`` is one of ``"bank"``, ``"bank_group"``, ``"rank"``: the rule
+    applies when the previous and next commands share that scope.
+    """
+
+    previous: CommandType
+    following: CommandType
+    minimum_cycles: int
+    scope: str
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{self.previous.value} -> {self.following.value} >= "
+            f"{self.minimum_cycles} cycles ({self.scope})"
+        )
+
+
+def build_rules(timing: TimingCycles) -> List[TimingRule]:
+    """Construct the declarative rule list for a timing configuration."""
+
+    return [
+        TimingRule(CommandType.ACT, CommandType.RD, timing.trcd, "bank"),
+        TimingRule(CommandType.ACT, CommandType.WR, timing.trcd, "bank"),
+        TimingRule(CommandType.ACT, CommandType.PRE, timing.tras, "bank"),
+        TimingRule(CommandType.ACT, CommandType.ACT, timing.trc, "bank"),
+        TimingRule(CommandType.PRE, CommandType.ACT, timing.trp, "bank"),
+        TimingRule(CommandType.RD, CommandType.PRE, timing.trtp, "bank"),
+        TimingRule(CommandType.WR, CommandType.PRE, timing.twr, "bank"),
+        TimingRule(CommandType.RD, CommandType.RD, timing.tccd_l, "bank"),
+        TimingRule(CommandType.WR, CommandType.WR, timing.tccd_l, "bank"),
+        TimingRule(CommandType.WR, CommandType.RD, timing.twtr, "bank"),
+        TimingRule(CommandType.ACT, CommandType.ACT, timing.trrd_l, "bank_group"),
+        TimingRule(CommandType.ACT, CommandType.ACT, timing.trrd_s, "rank"),
+    ]
+
+
+class TimingChecker:
+    """Validates a command trace against the declarative timing rules.
+
+    The checker records every issued command with its coordinates and cycle,
+    and reports any rule violation.  It is O(history) per check and therefore
+    intended for tests and debugging, not for the hot simulation path.
+    """
+
+    def __init__(self, config: DeviceConfig) -> None:
+        self.config = config
+        self.timing = config.timing_cycles()
+        self.rules = build_rules(self.timing)
+        # (cycle, kind, rank, bank_group, bank)
+        self.history: List[Tuple[int, CommandType, int, int, int]] = []
+        self.violations: List[str] = []
+
+    def record(self, kind: CommandType, cycle: int, rank: int = 0,
+               bank_group: int = 0, bank: int = 0) -> None:
+        """Record a command and check it against all applicable rules."""
+
+        for prev_cycle, prev_kind, prev_rank, prev_bg, prev_bank in reversed(
+            self.history
+        ):
+            if cycle - prev_cycle > self.timing.trc * 4:
+                break  # older history cannot violate any modelled rule
+            for rule in self.rules:
+                if rule.previous is not prev_kind or rule.following is not kind:
+                    continue
+                if not self._in_scope(rule.scope, (prev_rank, prev_bg, prev_bank),
+                                      (rank, bank_group, bank)):
+                    continue
+                if cycle - prev_cycle < rule.minimum_cycles:
+                    self.violations.append(
+                        f"{rule}: got {cycle - prev_cycle} cycles "
+                        f"(prev at {prev_cycle}, next at {cycle})"
+                    )
+        self.history.append((cycle, kind, rank, bank_group, bank))
+
+    @staticmethod
+    def _in_scope(scope: str, prev: Tuple[int, int, int],
+                  cur: Tuple[int, int, int]) -> bool:
+        if scope == "rank":
+            return prev[0] == cur[0]
+        if scope == "bank_group":
+            return prev[0] == cur[0] and prev[1] == cur[1]
+        if scope == "bank":
+            return prev == cur
+        raise ValueError(f"unknown scope {scope}")
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def four_activate_windows(self) -> Dict[int, int]:
+        """Return, per rank, the worst-case number of ACTs in any tFAW window."""
+
+        worst: Dict[int, int] = {}
+        acts_by_rank: Dict[int, List[int]] = {}
+        for cycle, kind, rank, _, _ in self.history:
+            if kind is CommandType.ACT:
+                acts_by_rank.setdefault(rank, []).append(cycle)
+        for rank, cycles in acts_by_rank.items():
+            cycles.sort()
+            best = 0
+            start = 0
+            for end in range(len(cycles)):
+                while cycles[end] - cycles[start] >= self.timing.tfaw:
+                    start += 1
+                best = max(best, end - start + 1)
+            worst[rank] = best
+        return worst

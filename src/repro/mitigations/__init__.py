@@ -1,0 +1,59 @@
+"""RowHammer mitigation mechanisms.
+
+Eight state-of-the-art mechanisms evaluated by the paper (PARA, Graphene,
+Hydra, TWiCe, AQUA, REGA, RFM, PRAC), plus BlockHammer (the throttling-based
+comparison point) and a no-mitigation baseline.  All share the
+:class:`repro.mitigations.base.MitigationMechanism` interface.
+"""
+
+from repro.mitigations.aqua import Aqua
+from repro.mitigations.base import (
+    ActionObserver,
+    MitigationMechanism,
+    NoMitigation,
+    PreventiveAction,
+    PreventiveActionKind,
+)
+from repro.mitigations.blockhammer import BlockHammer
+from repro.mitigations.graphene import Graphene, MisraGriesTable
+from repro.mitigations.hydra import Hydra, HydraConfig
+from repro.mitigations.para import Para
+from repro.mitigations.prac import Prac
+from repro.mitigations.rega import Rega
+from repro.mitigations.registry import (
+    MOTIVATION_MECHANISMS,
+    NRH_SWEEP,
+    PAIRED_MECHANISMS,
+    available_mechanisms,
+    create_all,
+    create_mechanism,
+    register_mechanism,
+)
+from repro.mitigations.rfm import RfmMitigation
+from repro.mitigations.twice import TwiCe
+
+__all__ = [
+    "ActionObserver",
+    "Aqua",
+    "BlockHammer",
+    "Graphene",
+    "Hydra",
+    "HydraConfig",
+    "MOTIVATION_MECHANISMS",
+    "MisraGriesTable",
+    "MitigationMechanism",
+    "NRH_SWEEP",
+    "NoMitigation",
+    "PAIRED_MECHANISMS",
+    "Para",
+    "Prac",
+    "PreventiveAction",
+    "PreventiveActionKind",
+    "Rega",
+    "RfmMitigation",
+    "TwiCe",
+    "available_mechanisms",
+    "create_all",
+    "create_mechanism",
+    "register_mechanism",
+]

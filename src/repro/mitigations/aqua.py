@@ -1,0 +1,97 @@
+"""AQUA — quarantining aggressor rows via migration (Saxena et al., MICRO 2022).
+
+AQUA tracks aggressor rows with a Misra-Gries summary (like Graphene), but
+instead of refreshing victims it *migrates* the aggressor row's content into
+a quarantine region of DRAM, breaking the physical adjacency between the
+aggressor and its victims.  Migration is expensive — it occupies the bank for
+roughly two row cycles — which is why AQUA scales poorly at low ``N_RH``
+(paper Fig. 8) and why its preventive actions are such attractive targets for
+memory performance attacks.
+
+The quarantine region has finite capacity; when it fills, quarantined rows
+must be migrated back (modelled by an extra migration action), matching the
+original design's de-quarantine traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.dram.address import DramAddress
+from repro.dram.config import DeviceConfig
+from repro.mitigations.base import MitigationMechanism, PreventiveAction
+from repro.mitigations.graphene import MisraGriesTable
+
+
+class Aqua(MitigationMechanism):
+    """Aggressor-row quarantine through row migration."""
+
+    name = "aqua"
+
+    def __init__(self, config: DeviceConfig, nrh: int,
+                 table_entries: Optional[int] = None,
+                 quarantine_rows_per_bank: int = 1024) -> None:
+        super().__init__(config, nrh)
+        self.migration_threshold = max(1, nrh // 2)
+        if table_entries is None:
+            timing = config.timing_cycles()
+            acts_per_window = max(1, timing.refresh_window // max(1, timing.trc))
+            table_entries = max(64, acts_per_window // self.migration_threshold)
+        self.table_entries = table_entries
+        self.quarantine_capacity = quarantine_rows_per_bank
+
+        self._tables: Dict[tuple, MisraGriesTable] = {}
+        # Per bank: number of rows currently in the quarantine area.
+        self._quarantine_occupancy: Dict[tuple, int] = {}
+        self.observed_activations = 0
+        self.migrations = 0
+        self.dequarantine_migrations = 0
+
+    # ------------------------------------------------------------------ #
+    def _table(self, bank_key: tuple) -> MisraGriesTable:
+        table = self._tables.get(bank_key)
+        if table is None:
+            table = MisraGriesTable(capacity=self.table_entries)
+            self._tables[bank_key] = table
+        return table
+
+    def on_activation(self, coordinate: DramAddress,
+                      thread_id: Optional[int],
+                      cycle: int) -> List[PreventiveAction]:
+        self.observed_activations += 1
+        actions: List[PreventiveAction] = []
+        table = self._table(coordinate.bank_key)
+        estimate = table.observe(coordinate.row)
+        if estimate < self.migration_threshold:
+            return actions
+
+        table.reset_row(coordinate.row)
+        self.migrations += 1
+        actions.append(self.migration_action(coordinate, cycle))
+
+        occupancy = self._quarantine_occupancy.get(coordinate.bank_key, 0) + 1
+        if occupancy > self.quarantine_capacity:
+            # Quarantine full: migrate the oldest row back out.
+            self.dequarantine_migrations += 1
+            occupancy -= 1
+            actions.append(
+                self.migration_action(coordinate, cycle, weight=0.5)
+            )
+        self._quarantine_occupancy[coordinate.bank_key] = occupancy
+        return actions
+
+    def on_refresh_window(self, cycle: int) -> None:
+        for table in self._tables.values():
+            table.clear()
+        # Quarantined rows persist across windows (their adjacency is already
+        # broken); only the tracking state resets.
+
+    def stats(self) -> dict:
+        data = super().stats()
+        data.update(
+            migration_threshold=self.migration_threshold,
+            migrations=self.migrations,
+            dequarantine_migrations=self.dequarantine_migrations,
+            observed_activations=self.observed_activations,
+        )
+        return data

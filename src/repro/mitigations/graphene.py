@@ -1,0 +1,124 @@
+"""Graphene — Misra-Gries frequent-row tracking (Park et al., MICRO 2020).
+
+Graphene maintains, per bank, a small table of ``(row, estimated count)``
+pairs managed with the Misra-Gries frequent-element algorithm plus a spillover
+counter.  When a tracked row's estimated activation count exceeds the refresh
+threshold, Graphene refreshes the row's neighbours and resets the entry.  The
+table is reset every reset window (here: every refresh window, tREFW).
+
+Configuration follows the original paper: with a RowHammer threshold
+``N_RH``, the refresh threshold is ``N_RH / 2`` (so a row is refreshed well
+before it can reach ``N_RH`` activations even across a reset boundary), and
+the table must hold at least ``activations_per_window / refresh_threshold``
+entries per bank to guarantee no aggressor escapes tracking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.dram.address import DramAddress
+from repro.dram.config import DeviceConfig
+from repro.mitigations.base import MitigationMechanism, PreventiveAction
+
+
+@dataclass
+class MisraGriesTable:
+    """A Misra-Gries summary of row-activation counts for one bank."""
+
+    capacity: int
+    counters: Dict[int, int] = field(default_factory=dict)
+    spillover: int = 0
+
+    def observe(self, row: int) -> int:
+        """Count one activation of ``row``; return its estimated count."""
+
+        if row in self.counters:
+            self.counters[row] += 1
+        elif len(self.counters) < self.capacity:
+            self.counters[row] = self.spillover + 1
+        else:
+            # Decrement phase: find the minimum counter.
+            min_row = min(self.counters, key=self.counters.get)
+            min_value = self.counters[min_row]
+            if min_value <= self.spillover:
+                # Replace the minimum entry with the new row.
+                del self.counters[min_row]
+                self.counters[row] = self.spillover + 1
+            else:
+                self.spillover += 1
+                return self.spillover
+        return self.counters.get(row, self.spillover)
+
+    def reset_row(self, row: int) -> None:
+        if row in self.counters:
+            self.counters[row] = self.spillover
+
+    def clear(self) -> None:
+        self.counters.clear()
+        self.spillover = 0
+
+
+class Graphene(MitigationMechanism):
+    """Deterministic aggressor tracking with Misra-Gries summaries."""
+
+    name = "graphene"
+
+    def __init__(self, config: DeviceConfig, nrh: int,
+                 table_entries: Optional[int] = None,
+                 reset_on_refresh_window: bool = True,
+                 blast_radius: int = 1) -> None:
+        super().__init__(config, nrh)
+        self.refresh_threshold = max(1, nrh // 2)
+        if table_entries is None:
+            # Worst case activations per bank per refresh window, divided by
+            # the refresh threshold, bounds how many rows can cross it.
+            timing = config.timing_cycles()
+            acts_per_window = max(
+                1, timing.refresh_window // max(1, timing.trc)
+            )
+            table_entries = max(64, acts_per_window // self.refresh_threshold)
+        self.table_entries = table_entries
+        self.blast_radius = blast_radius
+        self.reset_on_refresh_window = reset_on_refresh_window
+        self._tables: Dict[tuple, MisraGriesTable] = {}
+        self.observed_activations = 0
+
+    # ------------------------------------------------------------------ #
+    def _table(self, bank_key: tuple) -> MisraGriesTable:
+        table = self._tables.get(bank_key)
+        if table is None:
+            table = MisraGriesTable(capacity=self.table_entries)
+            self._tables[bank_key] = table
+        return table
+
+    def on_activation(self, coordinate: DramAddress,
+                      thread_id: Optional[int],
+                      cycle: int) -> List[PreventiveAction]:
+        self.observed_activations += 1
+        table = self._table(coordinate.bank_key)
+        estimate = table.observe(coordinate.row)
+        if estimate >= self.refresh_threshold:
+            table.reset_row(coordinate.row)
+            return [
+                self.victim_refresh_action(
+                    coordinate, cycle, blast_radius=self.blast_radius
+                )
+            ]
+        return []
+
+    def on_refresh_window(self, cycle: int) -> None:
+        if self.reset_on_refresh_window:
+            for table in self._tables.values():
+                table.clear()
+
+    def stats(self) -> dict:
+        data = super().stats()
+        data.update(
+            refresh_threshold=self.refresh_threshold,
+            table_entries=self.table_entries,
+            banks_tracked=len(self._tables),
+            observed_activations=self.observed_activations,
+        )
+        return data

@@ -1,0 +1,182 @@
+"""Hydra — hybrid group/per-row activation tracking (Qureshi et al., ISCA 2022).
+
+Hydra keeps the common case cheap with a small SRAM *group count table*
+(GCT): rows are tracked in aggregated groups until a group's collective
+activation count reaches the *group threshold*; only then does Hydra fall
+back to precise per-row counters, which live in DRAM (the *row count table*,
+RCT) with a small SRAM cache (RCC) in front.
+
+Two kinds of RowHammer-preventive work arise, and both interfere with normal
+traffic (and are therefore observed by BreakHammer, per the paper §4.1):
+
+* a *preventive refresh* when a per-row counter exceeds the refresh
+  threshold, and
+* *RCT traffic* when the per-row counter must be fetched from / written back
+  to DRAM on an RCC miss — modelled here as an extra DRAM access penalty
+  carried by a preventive action with a smaller weight.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.dram.address import DramAddress
+from repro.dram.commands import Command, CommandType
+from repro.dram.config import DeviceConfig
+from repro.mitigations.base import (
+    MitigationMechanism,
+    PreventiveAction,
+    PreventiveActionKind,
+)
+
+
+@dataclass
+class HydraConfig:
+    """Tunable parameters of the Hydra tracker."""
+
+    group_size: int = 128  # rows aggregated per group counter
+    rcc_entries_per_bank: int = 64  # per-row counter cache capacity
+    group_threshold_fraction: float = 0.5  # group threshold = fraction * N_RH
+    refresh_threshold_fraction: float = 0.625  # per-row refresh threshold
+
+
+class Hydra(MitigationMechanism):
+    """Hybrid group / per-row tracking with a DRAM-resident counter table."""
+
+    name = "hydra"
+
+    def __init__(self, config: DeviceConfig, nrh: int,
+                 hydra_config: Optional[HydraConfig] = None,
+                 blast_radius: int = 1) -> None:
+        super().__init__(config, nrh)
+        self.params = hydra_config or HydraConfig()
+        self.group_threshold = max(1, int(nrh * self.params.group_threshold_fraction))
+        self.refresh_threshold = max(1, int(nrh * self.params.refresh_threshold_fraction))
+        self.blast_radius = blast_radius
+
+        # Group count table: (bank_key, group_index) -> count
+        self._group_counts: Dict[tuple, int] = {}
+        # Row count table (the DRAM-resident precise counters).
+        self._row_counts: Dict[tuple, int] = {}
+        # Row counter cache: per bank an LRU of row ids present in SRAM.
+        self._rcc: Dict[tuple, OrderedDict] = {}
+
+        self.observed_activations = 0
+        self.rcc_hits = 0
+        self.rcc_misses = 0
+
+    # ------------------------------------------------------------------ #
+    def _group_of(self, row: int) -> int:
+        return row // self.params.group_size
+
+    def _rcc_for(self, bank_key: tuple) -> OrderedDict:
+        cache = self._rcc.get(bank_key)
+        if cache is None:
+            cache = OrderedDict()
+            self._rcc[bank_key] = cache
+        return cache
+
+    def _touch_rcc(self, bank_key: tuple, row: int) -> bool:
+        """Access the row counter cache; return True on hit."""
+
+        cache = self._rcc_for(bank_key)
+        if row in cache:
+            cache.move_to_end(row)
+            self.rcc_hits += 1
+            return True
+        self.rcc_misses += 1
+        cache[row] = True
+        if len(cache) > self.params.rcc_entries_per_bank:
+            cache.popitem(last=False)
+        return False
+
+    # ------------------------------------------------------------------ #
+    def on_activation(self, coordinate: DramAddress,
+                      thread_id: Optional[int],
+                      cycle: int) -> List[PreventiveAction]:
+        self.observed_activations += 1
+        actions: List[PreventiveAction] = []
+        bank_key = coordinate.bank_key
+        group_key = (bank_key, self._group_of(coordinate.row))
+        group_count = self._group_counts.get(group_key, 0) + 1
+        self._group_counts[group_key] = group_count
+
+        if group_count <= self.group_threshold:
+            return actions
+
+        # Per-row tracking engaged for this group.
+        row_key = coordinate.row_key
+        hit = self._touch_rcc(bank_key, coordinate.row)
+        if not hit:
+            # RCT access: one read (and eventual writeback) in the same bank.
+            # Modelled as a lightweight preventive action because it consumes
+            # DRAM bandwidth that ordinary requests cannot use.
+            rct_access = PreventiveAction(
+                kind=PreventiveActionKind.VICTIM_REFRESH,
+                commands=[
+                    Command(
+                        CommandType.ACT,
+                        channel=coordinate.channel,
+                        rank=coordinate.rank,
+                        bank_group=coordinate.bank_group,
+                        bank=coordinate.bank,
+                        row=(coordinate.row + self.config.rows_per_bank // 2)
+                        % self.config.rows_per_bank,
+                    ),
+                    Command(
+                        CommandType.PRE,
+                        channel=coordinate.channel,
+                        rank=coordinate.rank,
+                        bank_group=coordinate.bank_group,
+                        bank=coordinate.bank,
+                    ),
+                ],
+                mechanism=self.name,
+                aggressor_row=row_key,
+                weight=0.25,
+                created_cycle=cycle,
+                metadata={"reason": "rct_miss"},
+            )
+            actions.append(self._register(rct_access))
+
+        row_count = self._row_counts.get(row_key, group_count // 2) + 1
+        self._row_counts[row_key] = row_count
+        if row_count >= self.refresh_threshold:
+            self._row_counts[row_key] = 0
+            actions.append(
+                self.victim_refresh_action(
+                    coordinate, cycle, blast_radius=self.blast_radius
+                )
+            )
+        return actions
+
+    def on_refresh_window(self, cycle: int) -> None:
+        # Periodic refresh resets all activation tracking state.
+        self._group_counts.clear()
+        self._row_counts.clear()
+        for cache in self._rcc.values():
+            cache.clear()
+
+    # ------------------------------------------------------------------ #
+    def sram_cost_bytes(self) -> int:
+        """Approximate SRAM cost of Hydra's structures (for §3 discussion)."""
+
+        banks = self.config.total_banks
+        groups_per_bank = self.config.rows_per_bank // self.params.group_size
+        gct_bits = banks * groups_per_bank * 16
+        rcc_bits = banks * self.params.rcc_entries_per_bank * (16 + 17)
+        return (gct_bits + rcc_bits) // 8
+
+    def stats(self) -> dict:
+        data = super().stats()
+        data.update(
+            group_threshold=self.group_threshold,
+            refresh_threshold=self.refresh_threshold,
+            rcc_hits=self.rcc_hits,
+            rcc_misses=self.rcc_misses,
+            observed_activations=self.observed_activations,
+            sram_cost_bytes=self.sram_cost_bytes(),
+        )
+        return data

@@ -1,0 +1,66 @@
+"""PARA — Probabilistic Adjacent Row Activation (Kim et al., ISCA 2014).
+
+PARA is stateless: on every row activation it performs a preventive refresh
+of the activated row's neighbours with probability ``p``.  To provide a
+RowHammer-safe configuration for a threshold ``N_RH``, ``p`` must be high
+enough that an aggressor is overwhelmingly unlikely to reach ``N_RH``
+activations without any of them triggering a neighbour refresh; the standard
+scaling (used by the paper and by BlockHammer's PARA comparison) is
+``p ∝ 1 / N_RH`` with a safety multiplier.
+
+PARA's weakness, which Fig. 8 of the paper highlights, is that at low
+``N_RH`` the probability becomes so high that even benign applications pay a
+preventive refresh on a large fraction of their activations.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.dram.address import DramAddress
+from repro.dram.config import DeviceConfig
+from repro.mitigations.base import MitigationMechanism, PreventiveAction
+
+
+class Para(MitigationMechanism):
+    """Probabilistic preventive refresh on each activation."""
+
+    name = "para"
+
+    #: Safety factor: the expected number of preventive refreshes an
+    #: aggressor receives before reaching N_RH activations.
+    SAFETY_FACTOR = 11.0
+
+    def __init__(self, config: DeviceConfig, nrh: int,
+                 probability: Optional[float] = None,
+                 blast_radius: int = 1, seed: int = 0) -> None:
+        super().__init__(config, nrh)
+        if probability is None:
+            probability = min(1.0, self.SAFETY_FACTOR / float(nrh))
+        if not 0.0 < probability <= 1.0:
+            raise ValueError("PARA probability must be in (0, 1]")
+        self.probability = probability
+        self.blast_radius = blast_radius
+        self._rng = random.Random(seed)
+        self.observed_activations = 0
+
+    def on_activation(self, coordinate: DramAddress,
+                      thread_id: Optional[int],
+                      cycle: int) -> List[PreventiveAction]:
+        self.observed_activations += 1
+        if self._rng.random() < self.probability:
+            return [
+                self.victim_refresh_action(
+                    coordinate, cycle, blast_radius=self.blast_radius
+                )
+            ]
+        return []
+
+    def stats(self) -> dict:
+        data = super().stats()
+        data.update(
+            probability=self.probability,
+            observed_activations=self.observed_activations,
+        )
+        return data

@@ -1,0 +1,89 @@
+"""PRAC — Per Row Activation Counting (JEDEC DDR5, JESD79-5c, April 2024).
+
+PRAC stores an activation counter inside every DRAM row.  When a row's
+counter crosses the back-off threshold, the DRAM chip asserts the ``alert_n``
+back-off signal; the memory controller must respond by issuing a
+predetermined number of RFM commands, during which the chip refreshes the
+endangered victims and resets the row's counter.
+
+Compared to controller-side trackers, PRAC is precise (it never misses an
+aggressor) but its back-off servicing blocks the bank, so at low ``N_RH`` a
+hammering thread can force frequent back-offs and hog bandwidth — the
+behaviour BreakHammer throttles.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.dram.address import DramAddress
+from repro.dram.config import DeviceConfig
+from repro.mitigations.base import (
+    MitigationMechanism,
+    PreventiveAction,
+    PreventiveActionKind,
+)
+
+
+class Prac(MitigationMechanism):
+    """Per-row activation counters with alert_n back-off servicing."""
+
+    name = "prac"
+    on_dram_die = True
+
+    def __init__(self, config: DeviceConfig, nrh: int,
+                 backoff_threshold: Optional[int] = None,
+                 rfm_per_backoff: int = 2,
+                 blast_radius: int = 1) -> None:
+        super().__init__(config, nrh)
+        # The chip must alert early enough that the controller's servicing
+        # window keeps every victim safe; half the threshold is the standard
+        # conservative setting used in prior analyses.
+        self.backoff_threshold = backoff_threshold or max(1, nrh // 2)
+        self.rfm_per_backoff = rfm_per_backoff
+        self.blast_radius = blast_radius
+        self._row_counters: Dict[tuple, int] = {}
+        self.observed_activations = 0
+        self.backoffs = 0
+
+    def on_activation(self, coordinate: DramAddress,
+                      thread_id: Optional[int],
+                      cycle: int) -> List[PreventiveAction]:
+        self.observed_activations += 1
+        key = coordinate.row_key
+        count = self._row_counters.get(key, 0) + 1
+        if count < self.backoff_threshold:
+            self._row_counters[key] = count
+            return []
+
+        # alert_n back-off: the controller issues RFM commands and the chip
+        # refreshes the aggressor's neighbours; the row counter resets.
+        self._row_counters[key] = 0
+        self.backoffs += 1
+        refresh = self.victim_refresh_action(
+            coordinate,
+            cycle,
+            blast_radius=self.blast_radius,
+            kind=PreventiveActionKind.BACKOFF,
+        )
+        rfm_actions = [
+            self.rfm_action(coordinate, cycle, weight=0.0,
+                            kind=PreventiveActionKind.BACKOFF)
+            for _ in range(max(0, self.rfm_per_backoff - 1))
+        ]
+        return [refresh, *rfm_actions]
+
+    def on_refresh_window(self, cycle: int) -> None:
+        # Periodic refresh restores every row's charge and resets counters.
+        self._row_counters.clear()
+
+    def stats(self) -> dict:
+        data = super().stats()
+        data.update(
+            backoff_threshold=self.backoff_threshold,
+            rfm_per_backoff=self.rfm_per_backoff,
+            backoffs=self.backoffs,
+            observed_activations=self.observed_activations,
+            tracked_rows=len(self._row_counters),
+        )
+        return data

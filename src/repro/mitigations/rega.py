@@ -1,0 +1,112 @@
+"""REGA — Refresh-Generating Activations (Marazzi et al., S&P 2023).
+
+REGA changes the DRAM chip itself: every subarray gains a second row buffer
+so victim rows can be refreshed *in parallel* with ordinary activations.  Its
+protection strength is set by ``REGA_T`` (refresh one potential victim every
+``T`` activations); stronger protection (lower ``N_RH``) requires refreshing
+more rows per activation, which lengthens the row cycle.
+
+Consequences for this model (mirroring the paper's footnote 10):
+
+* REGA produces **no blocking preventive commands** — instead it inflates
+  the bank-level timing parameters (tRAS / tRC).  The system builder asks
+  :meth:`Rega.adjusted_timings` for the modified timings before constructing
+  the DRAM channel.
+* BreakHammer still needs something to score.  Per the paper, a thread's
+  score is incremented by one for every ``REGA_T`` activations the thread
+  performs; we emit a zero-command, zero-latency preventive action at that
+  rate so the observer machinery sees it without consuming bandwidth.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+from typing import List, Optional
+
+from repro.dram.address import DramAddress
+from repro.dram.config import DeviceConfig, TimingParameters
+from repro.mitigations.base import (
+    MitigationMechanism,
+    PreventiveAction,
+    PreventiveActionKind,
+)
+
+
+class Rega(MitigationMechanism):
+    """In-DRAM parallel victim refresh with a timing-overhead cost."""
+
+    name = "rega"
+    on_dram_die = True
+
+    def __init__(self, config: DeviceConfig, nrh: int,
+                 rega_t: Optional[int] = None) -> None:
+        super().__init__(config, nrh)
+        # REGA_T: refresh one potential victim every T activations.  To be
+        # safe, T must shrink as N_RH shrinks; the original work uses T in
+        # the single digits for sub-1K thresholds.
+        if rega_t is None:
+            rega_t = max(1, nrh // 512)
+        self.rega_t = rega_t
+        # Rows that must be refreshed in parallel with each activation.
+        self.victims_per_activation = max(1, math.ceil(2.0 / self.rega_t))
+        self.observed_activations = 0
+        self._activation_counter = 0
+
+    # ------------------------------------------------------------------ #
+    # Timing impact
+    # ------------------------------------------------------------------ #
+    def timing_penalty_ns(self) -> float:
+        """Additional row-cycle time needed for the parallel refreshes.
+
+        Each parallel victim refresh extends the restore phase; the penalty
+        grows as REGA must protect lower thresholds.  The constant is chosen
+        so the penalty is negligible at N_RH = 4K and becomes a double-digit
+        percentage of tRC at N_RH = 64, matching the trend in the paper's
+        Fig. 2/8 where REGA's overhead is modest but grows.
+        """
+
+        return 1.5 * self.victims_per_activation * math.log2(
+            max(2, 4096 / max(1, self.nrh))
+        )
+
+    def adjusted_timings(self) -> TimingParameters:
+        """Return the device timing parameters inflated by REGA's penalty."""
+
+        penalty = self.timing_penalty_ns()
+        base = self.config.timings
+        return replace(
+            base,
+            tras=base.tras + penalty,
+            trc=base.trc + penalty,
+        )
+
+    # ------------------------------------------------------------------ #
+    def on_activation(self, coordinate: DramAddress,
+                      thread_id: Optional[int],
+                      cycle: int) -> List[PreventiveAction]:
+        self.observed_activations += 1
+        self._activation_counter += 1
+        if self._activation_counter >= self.rega_t:
+            self._activation_counter = 0
+            action = PreventiveAction(
+                kind=PreventiveActionKind.VICTIM_REFRESH,
+                commands=[],  # refresh happens in parallel inside the chip
+                mechanism=self.name,
+                aggressor_row=coordinate.row_key,
+                weight=1.0,
+                created_cycle=cycle,
+                metadata={"parallel": True},
+            )
+            return [self._register(action)]
+        return []
+
+    def stats(self) -> dict:
+        data = super().stats()
+        data.update(
+            rega_t=self.rega_t,
+            victims_per_activation=self.victims_per_activation,
+            timing_penalty_ns=self.timing_penalty_ns(),
+            observed_activations=self.observed_activations,
+        )
+        return data

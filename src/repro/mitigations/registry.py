@@ -1,0 +1,94 @@
+"""Registry of RowHammer mitigation mechanisms.
+
+The experiment harness, examples, and tests create mechanisms by name so
+that mechanism lists stay declarative (e.g. the paper's eight mechanisms in
+Fig. 8 are simply ``PAIRED_MECHANISMS``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List
+
+from repro.dram.config import DeviceConfig
+from repro.mitigations.aqua import Aqua
+from repro.mitigations.base import MitigationMechanism, NoMitigation
+from repro.mitigations.blockhammer import BlockHammer
+from repro.mitigations.graphene import Graphene
+from repro.mitigations.hydra import Hydra
+from repro.mitigations.para import Para
+from repro.mitigations.prac import Prac
+from repro.mitigations.rega import Rega
+from repro.mitigations.rfm import RfmMitigation
+from repro.mitigations.twice import TwiCe
+
+MechanismFactory = Callable[..., MitigationMechanism]
+
+_REGISTRY: Dict[str, MechanismFactory] = {
+    "none": NoMitigation,
+    "para": Para,
+    "graphene": Graphene,
+    "hydra": Hydra,
+    "twice": TwiCe,
+    "aqua": Aqua,
+    "rega": Rega,
+    "rfm": RfmMitigation,
+    "prac": Prac,
+    "blockhammer": BlockHammer,
+}
+
+#: The eight mechanisms the paper pairs with BreakHammer (Figs. 6-17).
+PAIRED_MECHANISMS: List[str] = [
+    "para",
+    "graphene",
+    "hydra",
+    "twice",
+    "aqua",
+    "rega",
+    "rfm",
+    "prac",
+]
+
+#: The mechanisms shown in the motivation figure (Fig. 2).
+MOTIVATION_MECHANISMS: List[str] = ["hydra", "rfm", "para", "aqua"]
+
+#: The N_RH sweep used throughout the paper's evaluation.
+NRH_SWEEP: List[int] = [4096, 2048, 1024, 512, 256, 128, 64]
+
+
+def available_mechanisms() -> List[str]:
+    """All registered mechanism names."""
+
+    return sorted(_REGISTRY)
+
+
+def register_mechanism(name: str, factory: MechanismFactory,
+                       overwrite: bool = False) -> None:
+    """Register a custom mechanism (used by tests and extensions)."""
+
+    key = name.lower()
+    if key in _REGISTRY and not overwrite:
+        raise ValueError(f"mechanism {name!r} is already registered")
+    _REGISTRY[key] = factory
+
+
+def create_mechanism(name: str, config: DeviceConfig, nrh: int,
+                     **kwargs) -> MitigationMechanism:
+    """Instantiate a mechanism by name for the given threshold."""
+
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise ValueError(
+            f"unknown mitigation mechanism {name!r}; "
+            f"available: {', '.join(available_mechanisms())}"
+        )
+    factory = _REGISTRY[key]
+    if key == "none":
+        return factory(config)
+    return factory(config, nrh, **kwargs)
+
+
+def create_all(names: Iterable[str], config: DeviceConfig, nrh: int
+               ) -> Dict[str, MitigationMechanism]:
+    """Instantiate several mechanisms at once, keyed by name."""
+
+    return {name: create_mechanism(name, config, nrh) for name in names}

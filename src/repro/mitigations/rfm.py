@@ -1,0 +1,73 @@
+"""Periodic Refresh Management (RFM) — JEDEC DDR5 (JESD79-5).
+
+The memory controller maintains a Rolling Accumulated ACT (RAA) counter per
+bank.  Every ``RAAIMT`` activations the controller must issue an RFM command
+to that bank, giving the DRAM die a time window (tRFM) to perform its own
+RowHammer-preventive maintenance.  The RFM command blocks the bank, so RFM's
+cost scales directly with activation rate — which is why an attacker that
+maximises row activations also maximises RFM overhead for everyone sharing
+the bank (the memory performance attack BreakHammer defeats).
+
+The RAAIMT configuration follows the "mathematically-proven secure"
+scaling used by the paper's reference [220]: RAAIMT shrinks proportionally
+with the RowHammer threshold.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.dram.address import DramAddress
+from repro.dram.config import DeviceConfig
+from repro.mitigations.base import MitigationMechanism, PreventiveAction
+
+
+class RfmMitigation(MitigationMechanism):
+    """Controller-issued RFM commands every RAAIMT activations per bank."""
+
+    name = "rfm"
+    on_dram_die = True
+
+    #: Activations allowed per RFM at the reference threshold (N_RH = 4096).
+    REFERENCE_RAAIMT = 80
+    REFERENCE_NRH = 4096
+
+    def __init__(self, config: DeviceConfig, nrh: int,
+                 raaimt: Optional[int] = None) -> None:
+        super().__init__(config, nrh)
+        if raaimt is None:
+            raaimt = max(
+                4, int(self.REFERENCE_RAAIMT * nrh / self.REFERENCE_NRH)
+            )
+        self.raaimt = raaimt
+        # RAA counter per bank.
+        self._raa: Dict[tuple, int] = {}
+        self.observed_activations = 0
+        self.rfm_issued = 0
+
+    def on_activation(self, coordinate: DramAddress,
+                      thread_id: Optional[int],
+                      cycle: int) -> List[PreventiveAction]:
+        self.observed_activations += 1
+        key = coordinate.bank_key
+        count = self._raa.get(key, 0) + 1
+        if count >= self.raaimt:
+            self._raa[key] = 0
+            self.rfm_issued += 1
+            return [self.rfm_action(coordinate, cycle)]
+        self._raa[key] = count
+        return []
+
+    def on_refresh_window(self, cycle: int) -> None:
+        # Periodic refresh window resets RAA counters (REF decrements RAA in
+        # the standard; a full window reset is the coarse equivalent).
+        self._raa.clear()
+
+    def stats(self) -> dict:
+        data = super().stats()
+        data.update(
+            raaimt=self.raaimt,
+            rfm_issued=self.rfm_issued,
+            observed_activations=self.observed_activations,
+        )
+        return data

@@ -1,0 +1,121 @@
+"""TWiCe — Time Window Counter based row refresh (Lee et al., ISCA 2019).
+
+TWiCe maintains a per-bank table of recently-activated rows.  Each entry
+carries an activation count and a *lifetime*; entries whose activation rate
+is too low to ever reach the RowHammer threshold within the refresh window
+are pruned at periodic checkpoints, which keeps the table small.  When an
+entry's count crosses the refresh threshold, the row's neighbours are
+refreshed and the entry is reset.
+
+The pruning rule follows the original paper: at the ``k``-th checkpoint an
+entry must have at least ``k * threshold_to_window_ratio`` activations to
+survive, otherwise the row provably cannot reach ``N_RH`` before the next
+periodic refresh and its entry is dropped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.dram.address import DramAddress
+from repro.dram.config import DeviceConfig
+from repro.mitigations.base import MitigationMechanism, PreventiveAction
+
+
+@dataclass
+class TwiCeEntry:
+    """One tracked row."""
+
+    activation_count: int = 0
+    lifetime_checkpoints: int = 0
+
+
+class TwiCe(MitigationMechanism):
+    """Counter-table aggressor tracking with lifetime-based pruning."""
+
+    name = "twice"
+
+    def __init__(self, config: DeviceConfig, nrh: int,
+                 checkpoint_interval_cycles: Optional[int] = None,
+                 blast_radius: int = 1) -> None:
+        super().__init__(config, nrh)
+        timing = config.timing_cycles()
+        self.refresh_threshold = max(1, nrh // 2)
+        # Number of pruning checkpoints per refresh window.
+        self.checkpoints_per_window = 16
+        self.checkpoint_interval = (
+            checkpoint_interval_cycles
+            if checkpoint_interval_cycles is not None
+            else max(1, timing.refresh_window // self.checkpoints_per_window)
+        )
+        # Minimum activations per checkpoint for an entry to stay alive.
+        self.prune_rate = max(
+            1, self.refresh_threshold // self.checkpoints_per_window
+        )
+        self.blast_radius = blast_radius
+
+        self._tables: Dict[tuple, Dict[int, TwiCeEntry]] = {}
+        self._next_checkpoint = self.checkpoint_interval
+        self.observed_activations = 0
+        self.pruned_entries = 0
+        self.peak_table_size = 0
+
+    # ------------------------------------------------------------------ #
+    def _table(self, bank_key: tuple) -> Dict[int, TwiCeEntry]:
+        table = self._tables.get(bank_key)
+        if table is None:
+            table = {}
+            self._tables[bank_key] = table
+        return table
+
+    def on_activation(self, coordinate: DramAddress,
+                      thread_id: Optional[int],
+                      cycle: int) -> List[PreventiveAction]:
+        self.observed_activations += 1
+        table = self._table(coordinate.bank_key)
+        entry = table.setdefault(coordinate.row, TwiCeEntry())
+        entry.activation_count += 1
+        self.peak_table_size = max(self.peak_table_size, len(table))
+        if entry.activation_count >= self.refresh_threshold:
+            entry.activation_count = 0
+            entry.lifetime_checkpoints = 0
+            return [
+                self.victim_refresh_action(
+                    coordinate, cycle, blast_radius=self.blast_radius
+                )
+            ]
+        return []
+
+    def tick(self, cycle: int) -> List[PreventiveAction]:
+        if cycle >= self._next_checkpoint:
+            self._next_checkpoint += self.checkpoint_interval
+            self._prune()
+        return []
+
+    def _prune(self) -> None:
+        for table in self._tables.values():
+            doomed = []
+            for row, entry in table.items():
+                entry.lifetime_checkpoints += 1
+                required = entry.lifetime_checkpoints * self.prune_rate
+                if entry.activation_count < required:
+                    doomed.append(row)
+            for row in doomed:
+                del table[row]
+                self.pruned_entries += 1
+
+    def on_refresh_window(self, cycle: int) -> None:
+        for table in self._tables.values():
+            table.clear()
+
+    def stats(self) -> dict:
+        data = super().stats()
+        data.update(
+            refresh_threshold=self.refresh_threshold,
+            checkpoint_interval=self.checkpoint_interval,
+            pruned_entries=self.pruned_entries,
+            peak_table_size=self.peak_table_size,
+            observed_activations=self.observed_activations,
+        )
+        return data

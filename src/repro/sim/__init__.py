@@ -1,0 +1,38 @@
+"""Full-system simulation: cores + LLC + MSHRs + controller + DRAM.
+
+* :mod:`repro.sim.config` — :class:`SystemConfig` and
+  :class:`SimulationConfig`, including the paper's Table 1/2 presets and the
+  scaled "fast" profile used by tests and benchmarks,
+* :mod:`repro.sim.system` — wires the substrates together and registers
+  BreakHammer as the controller's observer and the MSHR quota driver,
+* :mod:`repro.sim.simulator` — the cycle loop and termination conditions,
+* :mod:`repro.sim.stats` — per-run results containers,
+* :mod:`repro.sim.metrics` — weighted speedup, max slowdown (unfairness),
+  latency percentiles, geometric means.
+"""
+
+from repro.sim.config import SimulationConfig, SystemConfig
+from repro.sim.metrics import (
+    geometric_mean,
+    harmonic_speedup,
+    max_slowdown,
+    percentile,
+    weighted_speedup,
+)
+from repro.sim.simulator import SimulationResult, Simulator
+from repro.sim.stats import RunStatistics
+from repro.sim.system import System
+
+__all__ = [
+    "RunStatistics",
+    "SimulationConfig",
+    "SimulationResult",
+    "Simulator",
+    "System",
+    "SystemConfig",
+    "geometric_mean",
+    "harmonic_speedup",
+    "max_slowdown",
+    "percentile",
+    "weighted_speedup",
+]

@@ -1,0 +1,127 @@
+"""Evaluation metrics.
+
+The paper evaluates:
+
+* **system performance** with weighted speedup [Eyerman & Eeckhout;
+  Snavely & Tullsen]: ``WS = Σ_i IPC_shared_i / IPC_alone_i``, computed over
+  the *benign* applications only when an attacker is present;
+* **unfairness** with the maximum slowdown experienced by any benign
+  application: ``max_i IPC_alone_i / IPC_shared_i``;
+* **memory latency percentiles** (Figs. 11/17);
+* **DRAM energy**, normalised to a no-mitigation baseline (Fig. 12);
+* geometric means across workloads for the summary bars.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence
+
+
+def weighted_speedup(ipc_shared: Dict[int, float],
+                     ipc_alone: Dict[int, float],
+                     include: Optional[Iterable[int]] = None) -> float:
+    """Weighted speedup over the threads in ``include`` (default: all)."""
+
+    threads = list(include) if include is not None else list(ipc_shared)
+    if not threads:
+        raise ValueError("weighted speedup needs at least one thread")
+    total = 0.0
+    for thread in threads:
+        alone = ipc_alone.get(thread, 0.0)
+        if alone <= 0:
+            raise ValueError(f"thread {thread} has no standalone IPC")
+        total += ipc_shared.get(thread, 0.0) / alone
+    return total
+
+
+def max_slowdown(ipc_shared: Dict[int, float],
+                 ipc_alone: Dict[int, float],
+                 include: Optional[Iterable[int]] = None) -> float:
+    """Unfairness: the worst per-thread slowdown among ``include`` threads."""
+
+    threads = list(include) if include is not None else list(ipc_shared)
+    if not threads:
+        raise ValueError("max slowdown needs at least one thread")
+    worst = 0.0
+    for thread in threads:
+        shared = ipc_shared.get(thread, 0.0)
+        alone = ipc_alone.get(thread, 0.0)
+        if alone <= 0:
+            raise ValueError(f"thread {thread} has no standalone IPC")
+        slowdown = float("inf") if shared <= 0 else alone / shared
+        worst = max(worst, slowdown)
+    return worst
+
+
+def harmonic_speedup(ipc_shared: Dict[int, float],
+                     ipc_alone: Dict[int, float],
+                     include: Optional[Iterable[int]] = None) -> float:
+    """Harmonic mean of per-thread speedups (balance-sensitive metric)."""
+
+    threads = list(include) if include is not None else list(ipc_shared)
+    if not threads:
+        raise ValueError("harmonic speedup needs at least one thread")
+    denominator = 0.0
+    for thread in threads:
+        shared = ipc_shared.get(thread, 0.0)
+        alone = ipc_alone.get(thread, 0.0)
+        if alone <= 0:
+            raise ValueError(f"thread {thread} has no standalone IPC")
+        if shared <= 0:
+            return 0.0
+        denominator += alone / shared
+    return len(threads) / denominator
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """Linear-interpolation percentile; ``fraction`` in [0, 1]."""
+
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be within [0, 1]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    position = fraction * (len(ordered) - 1)
+    lower = int(math.floor(position))
+    upper = int(math.ceil(position))
+    if lower == upper:
+        return float(ordered[lower])
+    weight = position - lower
+    return float(ordered[lower] * (1.0 - weight) + ordered[upper] * weight)
+
+
+def latency_percentiles(latencies: Sequence[float],
+                        points: Sequence[int] = (50, 90, 95, 99, 100)
+                        ) -> Dict[int, float]:
+    """Latency percentile curve, keyed by percentile point."""
+
+    return {p: percentile(latencies, p / 100.0) for p in points}
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean; all values must be positive."""
+
+    if not values:
+        raise ValueError("geometric mean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def normalize(values: Sequence[float], baseline: float) -> List[float]:
+    """Divide every value by ``baseline`` (used for normalised figures)."""
+
+    if baseline == 0:
+        raise ValueError("cannot normalise by zero")
+    return [v / baseline for v in values]
+
+
+def speedup_percentage(new: float, old: float) -> float:
+    """Percentage improvement of ``new`` over ``old``."""
+
+    if old == 0:
+        raise ValueError("cannot compute speedup over zero baseline")
+    return 100.0 * (new - old) / old

@@ -1,0 +1,142 @@
+"""The simulation driver.
+
+:class:`Simulator` advances a :class:`repro.sim.system.System` cycle by
+cycle until either the cycle budget is exhausted or every *benign* core has
+retired its instruction quota (attacker cores are never waited for — the
+paper's methodology, footnote 9: the attacker's progress is irrelevant and
+BreakHammer slows it down dramatically).
+
+The result is a :class:`repro.sim.stats.RunStatistics` snapshot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.cpu.trace import Trace
+from repro.sim.config import SimulationConfig, SystemConfig
+from repro.sim.stats import RunStatistics
+from repro.sim.system import System
+
+
+@dataclass
+class SimulationResult:
+    """A finished run: the system (for inspection) plus its statistics."""
+
+    system: System
+    stats: RunStatistics
+    finished_by_instruction_limit: bool
+
+    @property
+    def cycles(self) -> int:
+        return self.stats.cycles
+
+
+class Simulator:
+    """Runs one system to completion."""
+
+    def __init__(self, system_config: SystemConfig,
+                 traces: Sequence[Trace],
+                 sim_config: Optional[SimulationConfig] = None,
+                 attacker_threads: Sequence[int] = ()) -> None:
+        self.system_config = system_config
+        self.sim_config = sim_config or SimulationConfig()
+        self.traces = list(traces)
+        self.attacker_threads = set(attacker_threads)
+        self.system = System(system_config, self.traces)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def benign_threads(self) -> List[int]:
+        return [
+            i for i in range(self.system.num_cores)
+            if i not in self.attacker_threads
+        ]
+
+    def _benign_done(self) -> bool:
+        limit = self.sim_config.instruction_limit
+        if limit is None:
+            return False
+        return all(
+            self.system.core(i).reached(limit) for i in self.benign_threads
+        )
+
+    # ------------------------------------------------------------------ #
+    def run(self) -> SimulationResult:
+        """Execute the run and collect statistics."""
+
+        cycle = 0
+        finished_early = False
+        for cycle in range(1, self.sim_config.max_cycles + 1):
+            self.system.tick(cycle)
+            if (
+                self.sim_config.stop_when_benign_done
+                and self._benign_done()
+            ):
+                finished_early = True
+                break
+        stats = self.collect_statistics(cycle)
+        return SimulationResult(
+            system=self.system,
+            stats=stats,
+            finished_by_instruction_limit=finished_early,
+        )
+
+    # ------------------------------------------------------------------ #
+    def collect_statistics(self, cycles: int) -> RunStatistics:
+        system = self.system
+        controller = system.controller
+        effective_cycles = max(1, cycles - self.sim_config.warmup_cycles)
+
+        ipc_by_thread: Dict[int, float] = {}
+        instructions: Dict[int, int] = {}
+        memory_accesses: Dict[int, int] = {}
+        mpki: Dict[int, float] = {}
+        for core in system.cores:
+            ipc_by_thread[core.core_id] = core.ipc(effective_cycles)
+            instructions[core.core_id] = core.stats.retired_instructions
+            memory_accesses[core.core_id] = core.stats.retired_memory_accesses
+            misses = system.llc.stats.misses_by_thread.get(core.core_id, 0)
+            retired = max(1, core.stats.retired_instructions)
+            mpki[core.core_id] = 1000.0 * misses / retired
+
+        energy = controller.energy.report(cycles)
+
+        return RunStatistics(
+            cycles=cycles,
+            ipc_by_thread=ipc_by_thread,
+            instructions_by_thread=instructions,
+            memory_accesses_by_thread=memory_accesses,
+            llc_miss_rate=system.llc.stats.miss_rate,
+            llc_mpki_by_thread=mpki,
+            read_latencies=list(controller.stats.read_latencies),
+            latency_by_thread={
+                thread: list(values)
+                for thread, values in controller.stats.latency_by_thread.items()
+            },
+            activations=controller.stats.activations,
+            activations_by_thread=dict(controller.stats.activations_by_thread),
+            row_hits=controller.stats.row_hits,
+            row_misses=controller.stats.row_misses,
+            row_conflicts=controller.stats.row_conflicts,
+            refreshes=controller.stats.refreshes,
+            preventive_actions=controller.stats.preventive_actions,
+            preventive_commands=controller.stats.preventive_commands,
+            blocked_activations=controller.stats.blocked_activations,
+            energy=energy,
+            mitigation_stats=system.mitigation.stats(),
+            breakhammer_stats=(
+                system.breakhammer.snapshot() if system.breakhammer else None
+            ),
+            mshr_stats=system.mshrs.snapshot(),
+        )
+
+
+def run_simulation(system_config: SystemConfig, traces: Sequence[Trace],
+                   sim_config: Optional[SimulationConfig] = None,
+                   attacker_threads: Sequence[int] = ()) -> SimulationResult:
+    """One-call convenience wrapper used by examples and the harness."""
+
+    simulator = Simulator(system_config, traces, sim_config, attacker_threads)
+    return simulator.run()

@@ -1,0 +1,104 @@
+"""Per-run statistics containers.
+
+:class:`RunStatistics` is the flattened result of one simulation run: per
+thread IPCs, memory latencies, DRAM command and preventive-action counts,
+energy, and BreakHammer's own counters.  It is a plain data object so that
+experiment code and tests can compare runs without reaching into simulator
+internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.dram.energy import EnergyReport
+from repro.sim.metrics import latency_percentiles
+
+
+@dataclass
+class RunStatistics:
+    """Everything measured during one simulation run."""
+
+    cycles: int
+    ipc_by_thread: Dict[int, float] = field(default_factory=dict)
+    instructions_by_thread: Dict[int, int] = field(default_factory=dict)
+    memory_accesses_by_thread: Dict[int, int] = field(default_factory=dict)
+    llc_miss_rate: float = 0.0
+    llc_mpki_by_thread: Dict[int, float] = field(default_factory=dict)
+
+    read_latencies: List[int] = field(default_factory=list)
+    latency_by_thread: Dict[int, List[int]] = field(default_factory=dict)
+
+    activations: int = 0
+    activations_by_thread: Dict[int, int] = field(default_factory=dict)
+    row_hits: int = 0
+    row_misses: int = 0
+    row_conflicts: int = 0
+    refreshes: int = 0
+    preventive_actions: int = 0
+    preventive_commands: int = 0
+    blocked_activations: int = 0
+
+    energy: Optional[EnergyReport] = None
+    mitigation_stats: Dict[str, object] = field(default_factory=dict)
+    breakhammer_stats: Optional[Dict[str, object]] = None
+    mshr_stats: Dict[str, object] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def total_instructions(self) -> int:
+        return sum(self.instructions_by_thread.values())
+
+    @property
+    def total_ipc(self) -> float:
+        return sum(self.ipc_by_thread.values())
+
+    def ipc_of(self, thread_id: int) -> float:
+        return self.ipc_by_thread.get(thread_id, 0.0)
+
+    @property
+    def row_hit_rate(self) -> float:
+        total = self.row_hits + self.row_misses
+        return self.row_hits / total if total else 0.0
+
+    def latency_curve(self, thread_ids: Optional[List[int]] = None,
+                      points=(50, 90, 95, 99, 100)) -> Dict[int, float]:
+        """Memory-latency percentiles, optionally restricted to threads."""
+
+        if thread_ids is None:
+            values = self.read_latencies
+        else:
+            values = []
+            for thread in thread_ids:
+                values.extend(self.latency_by_thread.get(thread, []))
+        if not values:
+            return {p: 0.0 for p in points}
+        return latency_percentiles(values, points)
+
+    def mean_read_latency(self) -> float:
+        if not self.read_latencies:
+            return 0.0
+        return sum(self.read_latencies) / len(self.read_latencies)
+
+    @property
+    def energy_mj(self) -> float:
+        return self.energy.total_mj if self.energy else 0.0
+
+    # ------------------------------------------------------------------ #
+    def summary(self) -> Dict[str, object]:
+        """Compact dictionary for logs and reports."""
+
+        return {
+            "cycles": self.cycles,
+            "total_ipc": round(self.total_ipc, 4),
+            "ipc_by_thread": {k: round(v, 4) for k, v in self.ipc_by_thread.items()},
+            "llc_miss_rate": round(self.llc_miss_rate, 4),
+            "activations": self.activations,
+            "row_hit_rate": round(self.row_hit_rate, 4),
+            "preventive_actions": self.preventive_actions,
+            "blocked_activations": self.blocked_activations,
+            "mean_read_latency": round(self.mean_read_latency(), 2),
+            "energy_mj": round(self.energy_mj, 4),
+            "breakhammer": self.breakhammer_stats,
+        }

@@ -1,0 +1,298 @@
+"""System wiring: cores → LLC → MSHRs → memory controller → DRAM.
+
+:class:`System` builds every substrate from a :class:`SystemConfig`, connects
+them, and exposes the per-cycle :meth:`tick` the simulator drives:
+
+* each core replays its trace and sends memory accesses to the LLC;
+* LLC misses allocate MSHRs — gated by BreakHammer's per-thread quotas —
+  and become :class:`MemoryRequest` objects for the controller;
+* the controller schedules DRAM commands, runs the mitigation mechanism's
+  trigger algorithm, and performs its preventive actions;
+* BreakHammer observes activations and preventive actions from the
+  controller and adjusts MSHR quotas.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.controller.controller import MemoryController
+from repro.controller.request import MemoryRequest, RequestType
+from repro.controller.scheduler import make_scheduler
+from repro.core.breakhammer import BreakHammer
+from repro.cpu.cache import SetAssociativeCache
+from repro.cpu.core_model import Core
+from repro.cpu.mshr import MshrFile
+from repro.cpu.trace import Trace
+from repro.dram.address import AddressMapper
+from repro.dram.config import DeviceConfig
+from repro.mitigations.base import MitigationMechanism
+from repro.mitigations.registry import create_mechanism
+from repro.mitigations.rega import Rega
+from repro.sim.config import SystemConfig
+
+
+class System:
+    """A complete simulated machine."""
+
+    def __init__(self, config: SystemConfig, traces: Sequence[Trace]) -> None:
+        if len(traces) != config.num_cores:
+            raise ValueError(
+                f"expected {config.num_cores} traces, got {len(traces)}"
+            )
+        self.config = config
+
+        # --- mitigation (may adjust DRAM timings: REGA) ----------------- #
+        self.mitigation: MitigationMechanism = create_mechanism(
+            config.mitigation, config.device, config.nrh,
+            **config.mitigation_kwargs,
+        )
+        device = config.device
+        if isinstance(self.mitigation, Rega):
+            device = device.scaled(timings=self.mitigation.adjusted_timings())
+            # The mechanism keeps a reference to the adjusted device too.
+            self.mitigation.config = device
+        self.device: DeviceConfig = device
+
+        # --- memory controller ------------------------------------------ #
+        self.mapper = AddressMapper(device, config.mapping)
+        self.controller = MemoryController(
+            device,
+            mitigation=self.mitigation,
+            scheduler=make_scheduler(config.scheduler, cap=config.scheduler_cap),
+            mapper=self.mapper,
+            read_queue_size=config.read_queue_size,
+            write_queue_size=config.write_queue_size,
+        )
+
+        # --- cache hierarchy --------------------------------------------- #
+        self.llc = SetAssociativeCache(config.llc)
+        self.mshrs = MshrFile(config.mshr_entries, num_threads=config.num_cores)
+
+        # --- BreakHammer -------------------------------------------------- #
+        self.breakhammer: Optional[BreakHammer] = None
+        if config.breakhammer_enabled:
+            self.breakhammer = BreakHammer(
+                num_threads=config.num_cores,
+                config=config.breakhammer,
+                device_config=device,
+                full_quota=config.mshr_entries,
+                apply_quota=self.mshrs.set_quota,
+            )
+            self.controller.register_observer(self.breakhammer)
+
+        # --- cores -------------------------------------------------------- #
+        self.cores: List[Core] = [
+            Core(core_id=i, trace=trace, config=config.core, send=self._send)
+            for i, trace in enumerate(traces)
+        ]
+
+        # LLC hits waiting to return data: (ready_cycle, core).
+        self._pending_hits: List[Tuple[int, Core]] = []
+        self.cycle = 0
+        # Rotating start index so no core gets structural priority over
+        # shared resources (MSHRs, queue slots) just by tick order.
+        self._core_rotation = 0
+
+    # ------------------------------------------------------------------ #
+    # Core → memory path
+    # ------------------------------------------------------------------ #
+    def _send(self, core: Core, entry) -> bool:
+        """Handle one memory access from ``core``; return False to stall it."""
+
+        address = entry.address
+        is_write = entry.is_write
+        thread_id = core.thread_id
+        if entry.bypass_cache:
+            return self._send_uncached(core, address, is_write, thread_id)
+        if self.llc.probe(address):
+            result = self.llc.access(address, is_write=is_write,
+                                     thread_id=thread_id)
+            if not is_write:
+                self._pending_hits.append(
+                    (self.cycle + result.latency, core)
+                )
+            return True
+
+        line_address = self.llc.line_address(address)
+        existing = self.mshrs.lookup(line_address)
+        if existing is not None:
+            # Secondary miss: merge and (for loads) wait on the same fill.
+            self.llc.access(address, is_write=is_write, thread_id=thread_id)
+            self.mshrs.allocate(line_address, thread_id, self.cycle, is_write)
+            if not is_write:
+                existing.waiters.append(core)
+            return True
+
+        if is_write:
+            # Store misses are posted to the controller's write queue without
+            # holding an MSHR (a write buffer in a real hierarchy); the store
+            # already retired at the core.
+            if not self.controller.can_accept(RequestType.WRITE):
+                return False
+            self.llc.access(address, is_write=True, thread_id=thread_id)
+            request = MemoryRequest(
+                address=line_address,
+                kind=RequestType.WRITE,
+                thread_id=thread_id,
+                arrival_cycle=self.cycle,
+            )
+            return self.controller.enqueue(request)
+
+        # Primary load miss: needs an MSHR (gated by BreakHammer's per-thread
+        # quota) plus a controller queue slot.  The checks run before the
+        # access is recorded so that a stalled-and-retried access does not
+        # inflate the miss statistics.
+        if not self.mshrs.can_allocate(thread_id):
+            return False
+        if not self.controller.can_accept(RequestType.READ):
+            return False
+        self.llc.access(address, is_write=False, thread_id=thread_id)
+        entry = self.mshrs.allocate(line_address, thread_id, self.cycle, False)
+        assert entry is not None
+        entry.waiters.append(core)
+        request = MemoryRequest(
+            address=line_address,
+            kind=RequestType.READ,
+            thread_id=thread_id,
+            arrival_cycle=self.cycle,
+            on_complete=self._on_memory_response,
+        )
+        accepted = self.controller.enqueue(request)
+        if not accepted:  # pragma: no cover - guarded by can_accept above
+            self.mshrs.release(line_address)
+            return False
+        return True
+
+    def _send_uncached(self, core: Core, address: int, is_write: bool,
+                       thread_id: int) -> bool:
+        """Non-cacheable access: skips the LLC but still needs an MSHR.
+
+        Models the ``clflush``-style accesses a hammering attacker performs;
+        the MSHR requirement is what lets BreakHammer throttle such a thread
+        even though its accesses never hit the cache.
+        """
+
+        line_address = self.llc.line_address(address)
+        if is_write:
+            if not self.controller.can_accept(RequestType.WRITE):
+                return False
+            return self.controller.enqueue(MemoryRequest(
+                address=line_address,
+                kind=RequestType.WRITE,
+                thread_id=thread_id,
+                arrival_cycle=self.cycle,
+            ))
+        existing = self.mshrs.lookup(line_address)
+        if existing is not None:
+            self.mshrs.allocate(line_address, thread_id, self.cycle, False)
+            existing.waiters.append(core)
+            return True
+        if not self.mshrs.can_allocate(thread_id):
+            return False
+        if not self.controller.can_accept(RequestType.READ):
+            return False
+        entry = self.mshrs.allocate(line_address, thread_id, self.cycle, False)
+        assert entry is not None
+        entry.waiters.append(core)
+        entry.merged_accesses = -1  # sentinel: do not install in the LLC
+        request = MemoryRequest(
+            address=line_address,
+            kind=RequestType.READ,
+            thread_id=thread_id,
+            arrival_cycle=self.cycle,
+            on_complete=self._on_memory_response,
+            metadata={"uncached": True},
+        )
+        accepted = self.controller.enqueue(request)
+        if not accepted:  # pragma: no cover - guarded by can_accept above
+            self.mshrs.release(line_address)
+            return False
+        return True
+
+    def _on_memory_response(self, request: MemoryRequest, cycle: int) -> None:
+        """Fill the LLC, release the MSHR, and wake waiting cores."""
+
+        entry = self.mshrs.release(request.address)
+        if request.metadata.get("uncached"):
+            if entry is not None:
+                for core in entry.waiters:
+                    core.on_data_returned(cycle)
+            return
+        writeback = self.llc.fill(
+            request.address,
+            is_write=request.is_write,
+            thread_id=request.thread_id,
+        )
+        if writeback is not None:
+            # Dirty victim: issue a best-effort writeback (dropped if the
+            # write queue is full; data loss is irrelevant to a tag-only model).
+            wb = MemoryRequest(
+                address=writeback,
+                kind=RequestType.WRITE,
+                thread_id=request.thread_id,
+                arrival_cycle=cycle,
+            )
+            self.controller.enqueue(wb)
+        if entry is not None:
+            for core in entry.waiters:
+                core.on_data_returned(cycle)
+
+    # ------------------------------------------------------------------ #
+    # Cycle loop body
+    # ------------------------------------------------------------------ #
+    def tick(self, cycle: int) -> None:
+        self.cycle = cycle
+        if self.breakhammer is not None:
+            self.breakhammer.tick(cycle)
+        self.controller.tick(cycle)
+        self._return_llc_hits(cycle)
+        count = len(self.cores)
+        start = self._core_rotation
+        for offset in range(count):
+            self.cores[(start + offset) % count].tick(cycle)
+        self._core_rotation = (start + 1) % count
+
+    def _return_llc_hits(self, cycle: int) -> None:
+        if not self._pending_hits:
+            return
+        still_pending: List[Tuple[int, Core]] = []
+        for ready_cycle, core in self._pending_hits:
+            if ready_cycle <= cycle:
+                core.on_data_returned(cycle)
+            else:
+                still_pending.append((ready_cycle, core))
+        self._pending_hits = still_pending
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def core(self, index: int) -> Core:
+        return self.cores[index]
+
+    @property
+    def num_cores(self) -> int:
+        return len(self.cores)
+
+    def outstanding_work(self) -> int:
+        return (
+            self.controller.pending_requests
+            + len(self._pending_hits)
+            + len(self.mshrs)
+        )
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "cycle": self.cycle,
+            "cores": [core.snapshot() for core in self.cores],
+            "llc": {
+                "hits": self.llc.stats.hits,
+                "misses": self.llc.stats.misses,
+                "miss_rate": self.llc.stats.miss_rate,
+            },
+            "mshrs": self.mshrs.snapshot(),
+            "controller": self.controller.snapshot(),
+            "breakhammer": (
+                self.breakhammer.snapshot() if self.breakhammer else None
+            ),
+        }

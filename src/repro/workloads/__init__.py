@@ -1,0 +1,53 @@
+"""Workload generation.
+
+The paper drives its evaluation with memory traces of SPEC CPU2006/2017,
+TPC, MediaBench, and YCSB applications, grouped by memory intensity into
+High / Medium / Low buckets, plus a malicious application that mounts a
+memory performance attack by triggering RowHammer-preventive actions.
+
+Those proprietary trace files are not redistributable, so this package
+generates synthetic equivalents calibrated to the observable characteristics
+the paper reports (Table 3): misses-per-kilo-instruction buckets, row-buffer
+locality, and per-row activation pressure.  See DESIGN.md §2 for the
+substitution rationale.
+
+* :mod:`repro.workloads.synthetic` — benign trace generators,
+* :mod:`repro.workloads.attacker` — RowHammer/memory-performance attacker,
+* :mod:`repro.workloads.mixes` — the paper's workload mixes (HHHH … LLLA),
+* :mod:`repro.workloads.characteristics` — Table 3 characterisation.
+"""
+
+from repro.workloads.attacker import AttackerConfig, generate_attacker_trace
+from repro.workloads.characteristics import (
+    WorkloadCharacteristics,
+    characterize_trace,
+    characterize_suite,
+)
+from repro.workloads.mixes import (
+    ATTACK_MIXES,
+    BENIGN_MIXES,
+    WorkloadMix,
+    make_mix,
+    mix_names,
+)
+from repro.workloads.synthetic import (
+    BenignConfig,
+    MemoryIntensity,
+    generate_benign_trace,
+)
+
+__all__ = [
+    "ATTACK_MIXES",
+    "AttackerConfig",
+    "BENIGN_MIXES",
+    "BenignConfig",
+    "MemoryIntensity",
+    "WorkloadCharacteristics",
+    "WorkloadMix",
+    "characterize_suite",
+    "characterize_trace",
+    "generate_attacker_trace",
+    "generate_benign_trace",
+    "make_mix",
+    "mix_names",
+]

@@ -1,0 +1,146 @@
+"""Attacker workload generation.
+
+The paper's attacker is a malicious application that mounts a *memory
+performance attack*: it hammers aggressor rows so that the deployed
+RowHammer mitigation mechanism performs many RowHammer-preventive actions,
+which in turn hog DRAM bandwidth and slow every benign application down.
+
+The generator crafts an access stream that maximises row activations:
+
+* aggressor rows are spread across banks so activations are limited only by
+  rank-level timing (tRRD / tFAW), not by a single bank's tRC;
+* within a bank the attacker alternates between two aggressor rows
+  (double-sided hammering), so every access causes a row-buffer conflict and
+  therefore an activation;
+* consecutive visits to a row touch different cachelines, and the total
+  footprint is sized to exceed the LLC, so accesses are not absorbed by the
+  cache (the trace-level equivalent of the ``clflush``-based eviction real
+  attacks use).
+
+Addresses are constructed through the DRAM address mapper so that the
+intended (bank, row) targeting survives whatever interleaving the memory
+controller applies.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.cpu.trace import Trace, TraceEntry
+from repro.dram.address import AddressMapper, MappingScheme
+from repro.dram.config import DeviceConfig
+
+
+@dataclass(frozen=True)
+class AttackerConfig:
+    """Parameters of the hammering attacker."""
+
+    entries: int = 30_000
+    #: Number of banks the attacker hammers concurrently.  Fewer banks
+    #: concentrate activations on fewer rows (more mitigation triggers);
+    #: more banks hog more bandwidth.
+    banks_used: int = 8
+    #: Aggressor rows per bank (2 = double-sided pair per bank).
+    rows_per_bank: int = 2
+    #: Distinct cachelines touched per row visit.
+    columns_per_row: int = 64
+    #: Whether the attacker's accesses bypass the cache hierarchy (the
+    #: trace-level model of the clflush/eviction every real attack uses).
+    bypass_cache: bool = True
+    #: Non-memory instructions between attacker accesses (0 = as fast as
+    #: possible, the worst case for the memory system).
+    mean_bubble: int = 0
+    #: Base row index for aggressors; rows are spaced to avoid each other's
+    #: blast radius.
+    base_row: int = 64
+    row_stride: int = 4
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.banks_used <= 0 or self.rows_per_bank <= 0:
+            raise ValueError("attacker needs at least one bank and one row")
+        if self.columns_per_row <= 0:
+            raise ValueError("columns_per_row must be positive")
+
+
+def _bank_coordinates(device: DeviceConfig, banks_used: int) -> List[tuple]:
+    """Pick ``banks_used`` distinct (rank, bank_group, bank) tuples."""
+
+    coordinates = []
+    for rank in range(device.ranks):
+        for bank_group in range(device.bank_groups):
+            for bank in range(device.banks_per_group):
+                coordinates.append((rank, bank_group, bank))
+    if banks_used > len(coordinates):
+        banks_used = len(coordinates)
+    # Spread selections across ranks/bank groups for maximum parallelism.
+    step = max(1, len(coordinates) // banks_used)
+    return [coordinates[i * step] for i in range(banks_used)]
+
+
+def generate_attacker_trace(device: Optional[DeviceConfig] = None,
+                            config: Optional[AttackerConfig] = None,
+                            mapping: MappingScheme = MappingScheme.MOP,
+                            name: str = "attacker") -> Trace:
+    """Generate a hammering trace targeting ``device``'s geometry."""
+
+    device = device or DeviceConfig.ddr5_4800(rows_per_bank=4096)
+    config = config or AttackerConfig()
+    mapper = AddressMapper(device, mapping)
+    rng = random.Random(config.seed)
+
+    banks = _bank_coordinates(device, config.banks_used)
+    # Build the aggressor set: rows_per_bank rows in each selected bank.
+    aggressors: List[tuple] = []
+    for rank, bank_group, bank in banks:
+        for r in range(config.rows_per_bank):
+            row = (config.base_row + r * config.row_stride) % device.rows_per_bank
+            aggressors.append((rank, bank_group, bank, row))
+
+    columns_available = device.cachelines_per_row
+    columns = min(config.columns_per_row, columns_available)
+
+    entries: List[TraceEntry] = []
+    column_cursor = [0] * len(aggressors)
+    index = 0
+    for _ in range(config.entries):
+        rank, bank_group, bank, row = aggressors[index]
+        cursor = column_cursor[index]
+        column = (cursor * max(1, columns_available // columns)) % columns_available
+        column_cursor[index] = (cursor + 1) % columns
+        address = mapper.address_for_row(
+            channel=0, rank=rank, bank_group=bank_group, bank=bank,
+            row=row, column=column,
+        )
+        bubble = (
+            0 if config.mean_bubble == 0
+            else max(0, int(rng.expovariate(1.0 / config.mean_bubble)))
+        )
+        entries.append(
+            TraceEntry(bubble, address, is_write=False,
+                       bypass_cache=config.bypass_cache)
+        )
+        # Round-robin over aggressors; consecutive accesses hit different
+        # banks, and returning to a bank lands on its *other* aggressor row,
+        # forcing a row-buffer conflict (double-sided hammering).
+        index = (index + 1) % len(aggressors)
+
+    return Trace(entries, name=name, loop=True)
+
+
+def aggressor_rows(device: DeviceConfig, config: AttackerConfig) -> List[tuple]:
+    """The (rank, bank_group, bank, row) tuples the attacker hammers.
+
+    Exposed so tests can verify that the generated trace really activates
+    the intended rows.
+    """
+
+    banks = _bank_coordinates(device, config.banks_used)
+    rows = []
+    for rank, bank_group, bank in banks:
+        for r in range(config.rows_per_bank):
+            row = (config.base_row + r * config.row_stride) % device.rows_per_bank
+            rows.append((rank, bank_group, bank, row))
+    return rows

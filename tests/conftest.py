@@ -1,0 +1,49 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cpu.trace import Trace, TraceEntry
+from repro.dram.config import DeviceConfig
+from repro.sim.config import SimulationConfig, SystemConfig
+
+
+@pytest.fixture()
+def tiny_device() -> DeviceConfig:
+    """A small DRAM geometry for fast unit tests."""
+
+    return DeviceConfig.tiny()
+
+
+@pytest.fixture()
+def ddr5_device() -> DeviceConfig:
+    """The paper's DDR5 configuration with a reduced row count."""
+
+    return DeviceConfig.ddr5_4800(rows_per_bank=1024)
+
+
+@pytest.fixture()
+def fast_system_config() -> SystemConfig:
+    """A scaled system configuration used by integration tests."""
+
+    return SystemConfig.fast_profile(sim_cycles=8_000)
+
+
+@pytest.fixture()
+def short_sim_config() -> SimulationConfig:
+    return SimulationConfig(max_cycles=8_000)
+
+
+def make_simple_trace(addresses, bubble: int = 2, name: str = "t",
+                      loop: bool = True) -> Trace:
+    """Helper to build a read-only trace from a list of addresses."""
+
+    return Trace(
+        [TraceEntry(bubble, addr) for addr in addresses], name=name, loop=loop
+    )
+
+
+@pytest.fixture()
+def simple_trace_factory():
+    return make_simple_trace

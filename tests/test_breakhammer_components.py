@@ -1,0 +1,240 @@
+"""Tests for BreakHammer's sub-mechanisms: scores, suspect detection, throttling."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.scores import DualCounterSet, ScoreCounterSet
+from repro.core.suspect import SuspectDetector
+from repro.core.throttler import QuotaPolicy, Throttler
+
+
+class TestScoreCounterSet:
+    def test_add_and_mean(self):
+        counters = ScoreCounterSet(4)
+        counters.add(0, 2.0)
+        counters.add(1, 6.0)
+        assert counters.get(0) == 2.0
+        assert counters.mean() == 2.0
+        assert counters.total() == 8.0
+
+    def test_reset(self):
+        counters = ScoreCounterSet(2)
+        counters.add(1, 5.0)
+        counters.reset()
+        assert counters.total() == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScoreCounterSet(0)
+        with pytest.raises(ValueError):
+            ScoreCounterSet(2, scores=[1.0])
+
+
+class TestDualCounterSet:
+    def test_add_trains_both_sets(self):
+        dual = DualCounterSet(2)
+        dual.add(0, 3.0)
+        assert dual.active.get(0) == 3.0
+        assert dual.training.get(0) == 3.0
+
+    def test_rotate_resets_active_and_swaps(self):
+        """Fig. 4: the freshly-active set keeps last window's training."""
+
+        dual = DualCounterSet(2)
+        dual.add(0, 3.0)          # window 1
+        dual.rotate()             # end of window 1
+        # The new active set still remembers the 3.0 trained last window.
+        assert dual.score_of(0) == 3.0
+        dual.add(0, 1.0)          # window 2
+        assert dual.score_of(0) == 4.0
+        dual.rotate()             # end of window 2
+        # Now only window 2's contribution remains.
+        assert dual.score_of(0) == 1.0
+
+    def test_continuous_monitoring_has_no_blind_spot(self):
+        dual = DualCounterSet(1)
+        for _ in range(5):
+            dual.add(0, 1.0)
+            dual.rotate()
+            # Immediately after a rotation the score is never zero because
+            # the other set was training during the previous window.
+            assert dual.score_of(0) >= 1.0
+
+    def test_bounds_checking(self):
+        dual = DualCounterSet(2)
+        with pytest.raises(IndexError):
+            dual.add(5, 1.0)
+        with pytest.raises(ValueError):
+            dual.add(0, -1.0)
+
+    def test_snapshot(self):
+        dual = DualCounterSet(2)
+        dual.add(1, 2.0)
+        snap = dual.snapshot()
+        assert snap["active_scores"][1] == 2.0
+        assert snap["rotations"] == 0
+
+    @given(amounts=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=3),
+                  st.floats(min_value=0, max_value=10)),
+        max_size=50))
+    def test_active_score_never_exceeds_total_added(self, amounts):
+        """Property: a thread's visible score never exceeds what was added."""
+
+        dual = DualCounterSet(4)
+        totals = [0.0] * 4
+        for thread, amount in amounts:
+            dual.add(thread, amount)
+            totals[thread] += amount
+        for thread in range(4):
+            assert dual.score_of(thread) <= totals[thread] + 1e-9
+
+
+class TestSuspectDetector:
+    def test_paper_algorithm_marks_clear_outlier(self):
+        detector = SuspectDetector(threat_threshold=32, outlier_threshold=0.65)
+        decision = detector.evaluate([200.0, 10.0, 12.0, 8.0])
+        assert decision.suspects == (0,)
+        assert decision.is_suspect(0)
+        assert not decision.is_suspect(1)
+
+    def test_low_scores_never_suspect(self):
+        """Line 11 of Alg. 1: a thread below TH_threat is never marked."""
+
+        detector = SuspectDetector(threat_threshold=32, outlier_threshold=0.65)
+        decision = detector.evaluate([30.0, 0.0, 0.0, 0.0])
+        assert decision.suspects == ()
+
+    def test_non_outlier_high_scores_not_suspect(self):
+        """Line 15: equal high scores are the norm, not outliers."""
+
+        detector = SuspectDetector(threat_threshold=32, outlier_threshold=0.65)
+        decision = detector.evaluate([100.0, 100.0, 100.0, 100.0])
+        assert decision.suspects == ()
+
+    def test_multiple_suspects_possible(self):
+        detector = SuspectDetector(threat_threshold=10, outlier_threshold=0.1)
+        decision = detector.evaluate([100.0, 95.0, 1.0, 1.0])
+        assert set(decision.suspects) == {0, 1}
+
+    def test_max_allowed_deviation_definition(self):
+        detector = SuspectDetector(threat_threshold=0, outlier_threshold=0.65)
+        decision = detector.evaluate([10.0, 10.0])
+        assert decision.max_allowed_deviation == pytest.approx(16.5)
+
+    def test_minimum_detectable_score(self):
+        detector = SuspectDetector(threat_threshold=32, outlier_threshold=0.65)
+        assert detector.minimum_detectable_score([0.0, 0.0]) == 32
+        assert detector.minimum_detectable_score([100.0, 100.0]) == pytest.approx(165.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SuspectDetector(threat_threshold=-1)
+        with pytest.raises(ValueError):
+            SuspectDetector(outlier_threshold=-0.1)
+        with pytest.raises(ValueError):
+            SuspectDetector().evaluate([])
+
+    @settings(max_examples=100, deadline=None)
+    @given(scores=st.lists(st.floats(min_value=0, max_value=1000),
+                           min_size=2, max_size=8),
+           threat=st.floats(min_value=0, max_value=100),
+           outlier=st.floats(min_value=0, max_value=2))
+    def test_suspects_always_satisfy_both_conditions(self, scores, threat,
+                                                     outlier):
+        """Property: every marked suspect passes both Alg. 1 checks."""
+
+        detector = SuspectDetector(threat, outlier)
+        decision = detector.evaluate(scores)
+        mean = sum(scores) / len(scores)
+        for thread in decision.suspects:
+            assert scores[thread] >= threat
+            assert scores[thread] > (1 + outlier) * mean
+
+
+class TestThrottler:
+    def make(self, **kwargs):
+        return Throttler(num_threads=4, full_quota=64,
+                         policy=QuotaPolicy(p_oldsuspect=1, p_newsuspect=10),
+                         **kwargs)
+
+    def test_new_suspect_divides_quota(self):
+        throttler = self.make()
+        assert throttler.mark_suspect(2) == 6  # 64 // 10
+        assert throttler.is_throttled(2)
+        assert not throttler.is_throttled(0)
+
+    def test_repeat_suspect_subtracts(self):
+        throttler = self.make()
+        throttler.mark_suspect(2)
+        throttler.end_window()      # becomes recent_suspect
+        assert throttler.mark_suspect(2) == 5  # 6 - 1
+        throttler.end_window()
+        assert throttler.mark_suspect(2) == 4
+
+    def test_quota_never_negative(self):
+        throttler = Throttler(num_threads=1, full_quota=2,
+                              policy=QuotaPolicy(p_oldsuspect=5, p_newsuspect=2))
+        throttler.mark_suspect(0)
+        throttler.end_window()
+        assert throttler.mark_suspect(0) == 0
+
+    def test_clean_window_restores_full_quota(self):
+        throttler = self.make()
+        throttler.mark_suspect(2)
+        throttler.end_window()      # window 1: still recent suspect
+        throttler.end_window()      # window 2: stayed clean -> restore
+        assert throttler.quota_of(2) == 64
+        assert not throttler.is_throttled(2)
+        assert throttler.quota_restorations >= 1
+
+    def test_quota_reduced_once_per_window(self):
+        throttler = self.make()
+        throttler.mark_suspect(2)
+        throttler.mark_suspect(2)
+        throttler.mark_suspect(2)
+        assert throttler.quota_of(2) == 6  # not divided three times
+
+    def test_apply_callback_invoked(self):
+        calls = []
+        throttler = self.make(apply_quota=lambda t, q: calls.append((t, q)))
+        throttler.mark_suspect(1)
+        throttler.end_window()
+        throttler.end_window()
+        assert (1, 6) in calls
+        assert (1, 64) in calls
+
+    def test_windows_as_suspect_counter(self):
+        throttler = self.make()
+        throttler.mark_suspect(3)
+        throttler.end_window()
+        throttler.mark_suspect(3)
+        throttler.end_window()
+        snap = throttler.snapshot()
+        assert snap["threads"][3]["windows_as_suspect"] == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Throttler(num_threads=0, full_quota=4)
+        with pytest.raises(ValueError):
+            Throttler(num_threads=1, full_quota=0)
+        with pytest.raises(ValueError):
+            QuotaPolicy(p_newsuspect=0)
+        with pytest.raises(ValueError):
+            QuotaPolicy(p_oldsuspect=-1)
+
+    @settings(max_examples=60, deadline=None)
+    @given(events=st.lists(st.tuples(st.booleans(), st.booleans()),
+                           max_size=30))
+    def test_quota_always_within_bounds(self, events):
+        """Property: quotas stay within [0, full] under any suspect pattern."""
+
+        throttler = self.make()
+        for mark0, mark1 in events:
+            if mark0:
+                throttler.mark_suspect(0)
+            if mark1:
+                throttler.mark_suspect(1)
+            throttler.end_window()
+            for thread in range(4):
+                assert 0 <= throttler.quota_of(thread) <= 64

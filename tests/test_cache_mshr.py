@@ -1,0 +1,186 @@
+"""Tests for the LLC model and the MSHR file (BreakHammer's throttling lever)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cpu.cache import AccessResult, CacheConfig, SetAssociativeCache
+from repro.cpu.mshr import MshrFile
+
+
+class TestCacheConfig:
+    def test_paper_llc_geometry(self):
+        cfg = CacheConfig()
+        assert cfg.size_bytes == 8 * 1024 * 1024
+        assert cfg.associativity == 8
+        assert cfg.line_bytes == 64
+        assert cfg.num_sets * cfg.associativity * cfg.line_bytes == cfg.size_bytes
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=1000, associativity=3, line_bytes=64)
+
+
+class TestCacheBehaviour:
+    def setup_method(self):
+        self.cache = SetAssociativeCache(CacheConfig(size_bytes=8 * 1024,
+                                                     associativity=2))
+
+    def test_miss_then_fill_then_hit(self):
+        assert not self.cache.access(0x100).hit
+        self.cache.fill(0x100)
+        assert self.cache.access(0x100).hit
+        assert self.cache.stats.hits == 1
+        assert self.cache.stats.misses == 1
+
+    def test_same_line_offsets_hit(self):
+        self.cache.fill(0x100)
+        assert self.cache.access(0x100 + 63).hit
+
+    def test_lru_eviction(self):
+        cfg = self.cache.config
+        way_stride = cfg.num_sets * cfg.line_bytes
+        self.cache.fill(0)
+        self.cache.fill(way_stride)
+        self.cache.access(0)  # make line 0 most-recently used
+        evicted = self.cache.fill(2 * way_stride)
+        assert evicted is None  # victim was clean
+        assert self.cache.probe(0)
+        assert not self.cache.probe(way_stride)
+        assert self.cache.stats.evictions == 1
+
+    def test_dirty_eviction_returns_writeback_address(self):
+        cfg = self.cache.config
+        way_stride = cfg.num_sets * cfg.line_bytes
+        self.cache.fill(0, is_write=True)
+        self.cache.fill(way_stride)
+        writeback = self.cache.fill(2 * way_stride)
+        assert writeback == 0
+        assert self.cache.stats.writebacks == 1
+
+    def test_per_thread_miss_accounting(self):
+        self.cache.access(0, thread_id=1)
+        self.cache.access(64 * 1024, thread_id=2)
+        assert self.cache.stats.misses_by_thread == {1: 1, 2: 1}
+
+    def test_mpki(self):
+        self.cache.access(0)
+        assert self.cache.mpki(1000) == pytest.approx(1.0)
+        assert self.cache.mpki(0) == 0.0
+
+    def test_invalidate_all(self):
+        self.cache.fill(0)
+        self.cache.invalidate_all()
+        assert not self.cache.probe(0)
+        assert self.cache.occupancy() == 0.0
+
+    def test_probe_does_not_touch_stats(self):
+        self.cache.probe(0)
+        assert self.cache.stats.accesses == 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(addresses=st.lists(st.integers(min_value=0, max_value=1 << 20),
+                          min_size=1, max_size=200))
+def test_cache_occupancy_never_exceeds_capacity(addresses):
+    """Property: fills never overflow the configured number of lines."""
+
+    cache = SetAssociativeCache(CacheConfig(size_bytes=4096, associativity=2))
+    for address in addresses:
+        if not cache.access(address).hit:
+            cache.fill(address)
+    assert cache.occupancy() <= 1.0
+
+
+class TestMshrFile:
+    def test_allocate_and_release(self):
+        mshrs = MshrFile(total_entries=4, num_threads=2)
+        entry = mshrs.allocate(0x100, thread_id=0, cycle=1)
+        assert entry is not None
+        assert len(mshrs) == 1
+        assert mshrs.outstanding_for(0) == 1
+        released = mshrs.release(0x100)
+        assert released is entry
+        assert len(mshrs) == 0
+
+    def test_secondary_miss_merges(self):
+        mshrs = MshrFile(total_entries=2, num_threads=2)
+        first = mshrs.allocate(0x100, 0, 1)
+        second = mshrs.allocate(0x100, 1, 2)
+        assert second is first
+        assert first.merged_accesses == 1
+        assert mshrs.stats_merges == 1
+        assert len(mshrs) == 1
+
+    def test_capacity_rejection(self):
+        mshrs = MshrFile(total_entries=1, num_threads=1)
+        assert mshrs.allocate(0x100, 0, 1) is not None
+        assert mshrs.allocate(0x200, 0, 1) is None
+        assert mshrs.stats_capacity_rejections == 1
+
+    def test_quota_rejection(self):
+        mshrs = MshrFile(total_entries=8, num_threads=2)
+        mshrs.set_quota(0, 1)
+        assert mshrs.allocate(0x100, 0, 1) is not None
+        assert mshrs.allocate(0x200, 0, 1) is None
+        assert mshrs.stats_quota_rejections == 1
+        # The other thread is unaffected.
+        assert mshrs.allocate(0x300, 1, 1) is not None
+
+    def test_quota_clamped(self):
+        mshrs = MshrFile(total_entries=8, num_threads=1)
+        mshrs.set_quota(0, 100)
+        assert mshrs.quota_for(0) == 8
+        mshrs.set_quota(0, -5)
+        assert mshrs.quota_for(0) == 0
+        mshrs.reset_quota(0)
+        assert mshrs.quota_for(0) == 8
+
+    def test_reset_all_quotas(self):
+        mshrs = MshrFile(total_entries=8, num_threads=3)
+        for t in range(3):
+            mshrs.set_quota(t, 1)
+        mshrs.reset_all_quotas()
+        assert all(mshrs.quota_for(t) == 8 for t in range(3))
+
+    def test_secondary_miss_allowed_even_when_quota_exhausted(self):
+        """Paper §4.3: a throttled thread may still hit existing MSHRs."""
+
+        mshrs = MshrFile(total_entries=8, num_threads=2)
+        mshrs.allocate(0x100, 1, 1)
+        mshrs.set_quota(0, 0)
+        assert not mshrs.can_allocate(0)
+        merged = mshrs.allocate(0x100, 0, 2)
+        assert merged is not None  # secondary miss merges despite zero quota
+
+    def test_snapshot(self):
+        mshrs = MshrFile(total_entries=4, num_threads=2)
+        mshrs.allocate(0x100, 0, 1)
+        snap = mshrs.snapshot()
+        assert snap["occupied"] == 1
+        assert snap["total_entries"] == 4
+        assert snap["quotas"][0] == 4
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            MshrFile(total_entries=0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    quota=st.integers(min_value=0, max_value=8),
+    lines=st.lists(st.integers(min_value=0, max_value=31), min_size=1,
+                   max_size=60),
+)
+def test_mshr_quota_invariant(quota, lines):
+    """Property: a thread never holds more primary entries than its quota."""
+
+    mshrs = MshrFile(total_entries=8, num_threads=1)
+    mshrs.set_quota(0, quota)
+    for i, line in enumerate(lines):
+        address = line * 64
+        existing = mshrs.lookup(address)
+        mshrs.allocate(address, 0, i)
+        if existing is None:
+            assert mshrs.outstanding_for(0) <= max(quota, 0) or existing
+    assert mshrs.outstanding_for(0) <= max(quota, len({l * 64 for l in lines}))
+    assert mshrs.outstanding_for(0) <= mshrs.total_entries

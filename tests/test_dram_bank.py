@@ -1,0 +1,158 @@
+"""Tests for the per-bank DRAM state machine."""
+
+import pytest
+
+from repro.dram.bank import Bank, BankState
+from repro.dram.commands import Command, CommandType
+from repro.dram.config import DeviceConfig
+
+
+@pytest.fixture()
+def bank():
+    cfg = DeviceConfig.tiny()
+    return Bank(cfg.timing_cycles(), cfg.rows_per_bank)
+
+
+def act(row=5, thread=None):
+    return Command(CommandType.ACT, row=row, source_thread=thread)
+
+
+def rd(row=5, col=0):
+    return Command(CommandType.RD, row=row, column=col)
+
+
+def pre():
+    return Command(CommandType.PRE)
+
+
+class TestActivatePrechargeCycle:
+    def test_initially_closed(self, bank):
+        assert bank.state is BankState.CLOSED
+        assert bank.open_row is None
+
+    def test_activate_opens_row(self, bank):
+        assert bank.ready(CommandType.ACT, 0)
+        bank.issue(act(7), 0)
+        assert bank.state is BankState.OPEN
+        assert bank.open_row == 7
+        assert bank.stats.activations == 1
+
+    def test_cannot_activate_open_bank(self, bank):
+        bank.issue(act(7), 0)
+        assert not bank.ready(CommandType.ACT, 100)
+
+    def test_read_requires_trcd(self, bank):
+        bank.issue(act(), 0)
+        t = bank.timing
+        assert not bank.ready(CommandType.RD, t.trcd - 1)
+        assert bank.ready(CommandType.RD, t.trcd)
+
+    def test_precharge_requires_tras(self, bank):
+        bank.issue(act(), 0)
+        t = bank.timing
+        assert not bank.ready(CommandType.PRE, t.tras - 1)
+        assert bank.ready(CommandType.PRE, t.tras)
+
+    def test_act_to_act_requires_trc(self, bank):
+        t = bank.timing
+        bank.issue(act(1), 0)
+        bank.issue(pre(), t.tras)
+        earliest = max(t.trc, t.tras + t.trp)
+        assert not bank.ready(CommandType.ACT, earliest - 1)
+        assert bank.ready(CommandType.ACT, earliest)
+
+    def test_precharge_closes_row(self, bank):
+        bank.issue(act(3), 0)
+        bank.issue(pre(), bank.timing.tras)
+        assert bank.state is BankState.CLOSED
+        assert bank.open_row is None
+        assert bank.stats.precharges == 1
+
+    def test_timing_violation_raises(self, bank):
+        bank.issue(act(), 0)
+        with pytest.raises(RuntimeError):
+            bank.issue(rd(), 0)  # tRCD not satisfied
+
+    def test_act_requires_row(self, bank):
+        with pytest.raises(ValueError):
+            bank.issue(Command(CommandType.ACT), 0)
+
+
+class TestColumnCommands:
+    def test_read_counts_row_hit(self, bank):
+        bank.issue(act(), 0)
+        bank.issue(rd(), bank.timing.trcd)
+        assert bank.stats.reads == 1
+        assert bank.stats.row_hits == 1
+
+    def test_write_delays_precharge_by_twr(self, bank):
+        t = bank.timing
+        bank.issue(act(), 0)
+        bank.issue(Command(CommandType.WR, row=5, column=1), t.trcd)
+        assert not bank.ready(CommandType.PRE, t.trcd + t.twr - 1)
+        assert bank.ready(CommandType.PRE, t.trcd + t.twr)
+
+    def test_consecutive_reads_respect_tccd(self, bank):
+        t = bank.timing
+        bank.issue(act(), 0)
+        bank.issue(rd(col=0), t.trcd)
+        assert not bank.ready(CommandType.RD, t.trcd + 1)
+        assert bank.ready(CommandType.RD, t.trcd + t.tccd_l)
+
+
+class TestMaintenanceCommands:
+    def test_refresh_blocks_bank_for_trfc(self, bank):
+        t = bank.timing
+        done = bank.issue(Command(CommandType.REF), 0)
+        assert done == t.trfc
+        assert not bank.ready(CommandType.ACT, t.trfc - 1)
+        assert bank.ready(CommandType.ACT, t.trfc)
+        assert bank.stats.refreshes == 1
+
+    def test_victim_refresh_blocks_for_tvrr(self, bank):
+        t = bank.timing
+        done = bank.issue(Command(CommandType.VRR, row=6), 0)
+        assert done == t.tvrr
+        assert bank.stats.preventive_refreshes == 1
+
+    def test_rfm_blocks_for_trfm(self, bank):
+        done = bank.issue(Command(CommandType.RFM), 0)
+        assert done == bank.timing.trfm
+        assert bank.stats.rfm_commands == 1
+
+    def test_migration_is_more_expensive_than_refresh(self, bank):
+        done = bank.issue(Command(CommandType.MIG, row=3), 0)
+        assert done > bank.timing.tvrr
+        assert bank.stats.migrations == 1
+
+    def test_maintenance_requires_closed_bank(self, bank):
+        bank.issue(act(), 0)
+        assert not bank.ready(CommandType.VRR, 1)
+        assert not bank.ready(CommandType.REF, 1)
+
+
+class TestRowActivationTracking:
+    def test_per_row_activation_counts(self, bank):
+        t = bank.timing
+        cycle = 0
+        for i in range(3):
+            bank.issue(act(9), cycle)
+            cycle += t.tras
+            bank.issue(pre(), cycle)
+            cycle += max(t.trp, t.trc - t.tras)
+        assert bank.row_activation_counts[9] == 3
+
+    def test_reset_row_activation_counts(self, bank):
+        bank.issue(act(2), 0)
+        bank.reset_row_activation_counts()
+        assert bank.row_activation_counts == {}
+
+    def test_conflict_recording(self, bank):
+        bank.record_conflict()
+        assert bank.stats.row_conflicts == 1
+
+    def test_is_open_with_row_argument(self, bank):
+        bank.issue(act(4), 0)
+        assert bank.is_open()
+        assert bank.is_open(4)
+        assert not bank.is_open(5)

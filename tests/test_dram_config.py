@@ -1,0 +1,101 @@
+"""Tests for DRAM geometry and timing configuration."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dram.config import DeviceConfig, TimingParameters
+
+
+class TestGeometry:
+    def test_default_matches_paper_table1(self):
+        cfg = DeviceConfig.ddr5_4800()
+        assert cfg.channels == 1
+        assert cfg.ranks == 2
+        assert cfg.bank_groups == 8
+        assert cfg.banks_per_group == 2
+        assert cfg.rows_per_bank == 65536
+        assert cfg.banks_per_rank == 16
+        assert cfg.total_banks == 32
+
+    def test_row_size_and_cachelines(self):
+        cfg = DeviceConfig.ddr5_4800()
+        assert cfg.row_size_bytes == 1024 * 8
+        assert cfg.cachelines_per_row == cfg.row_size_bytes // 64
+        assert cfg.columns_per_cacheline == 8
+
+    def test_capacity_is_product_of_geometry(self):
+        cfg = DeviceConfig.tiny()
+        expected = (
+            cfg.channels * cfg.ranks * cfg.banks_per_rank
+            * cfg.rows_per_bank * cfg.row_size_bytes
+        )
+        assert cfg.capacity_bytes == expected
+
+    def test_scaled_overrides_fields(self):
+        cfg = DeviceConfig.ddr5_4800(rows_per_bank=128)
+        assert cfg.rows_per_bank == 128
+        assert cfg.ranks == 2  # untouched fields preserved
+
+    def test_ddr4_preset_differs(self):
+        ddr4 = DeviceConfig.ddr4_3200()
+        ddr5 = DeviceConfig.ddr5_4800()
+        assert ddr4.ranks == 1
+        assert ddr4.timings.trefi > ddr5.timings.trefi
+        assert ddr4.timings.refresh_window_ms == 64.0
+        assert ddr5.timings.refresh_window_ms == 32.0
+
+    def test_describe_contains_key_fields(self):
+        desc = DeviceConfig.ddr5_4800().describe()
+        assert desc["banks_total"] == 32
+        assert desc["channels"] == 1
+        assert "capacity_bytes" in desc
+
+
+class TestTimingConversion:
+    def test_cycles_are_ceiled_and_positive(self):
+        timing = TimingParameters()
+        cycles = timing.in_cycles()
+        assert cycles.trcd == math.ceil(timing.trcd / timing.tck)
+        assert cycles.trp >= 1
+        assert cycles.tbl >= 1
+
+    def test_trc_at_least_tras_plus_trp(self):
+        cycles = TimingParameters().in_cycles()
+        assert cycles.trc >= cycles.tras  # restore before close
+        # DDR devices satisfy tRC ≈ tRAS + tRP.
+        assert cycles.trc <= cycles.tras + cycles.trp + 2
+
+    def test_refresh_window_much_longer_than_trefi(self):
+        cycles = TimingParameters().in_cycles()
+        assert cycles.refresh_window > cycles.trefi * 1000
+
+    @given(factor=st.floats(min_value=1.0, max_value=16.0))
+    def test_compression_scales_all_service_times(self, factor):
+        base = TimingParameters()
+        compressed = base.compressed(factor)
+        assert compressed.tck == base.tck
+        assert compressed.trc == pytest.approx(base.trc / factor)
+        assert compressed.tfaw == pytest.approx(base.tfaw / factor)
+        assert compressed.refresh_window_ms == pytest.approx(
+            base.refresh_window_ms / factor
+        )
+
+    def test_compression_rejects_non_positive_factor(self):
+        with pytest.raises(ValueError):
+            TimingParameters().compressed(0)
+
+    def test_time_compressed_device_changes_name(self):
+        cfg = DeviceConfig.ddr5_4800().time_compressed(4)
+        assert "x4" in cfg.name
+        assert cfg.timings.trc == pytest.approx(48.0 / 4)
+
+    @given(
+        trcd=st.floats(min_value=1.0, max_value=100.0),
+        tck=st.floats(min_value=0.1, max_value=2.0),
+    )
+    def test_cycle_conversion_never_rounds_below_one(self, trcd, tck):
+        timing = TimingParameters(tck=tck, trcd=trcd)
+        assert timing.in_cycles().trcd >= 1
+        assert timing.in_cycles().trcd >= trcd / tck - 1

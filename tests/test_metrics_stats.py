@@ -1,0 +1,155 @@
+"""Tests for evaluation metrics and the run-statistics container."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.metrics import (
+    geometric_mean,
+    harmonic_speedup,
+    latency_percentiles,
+    max_slowdown,
+    normalize,
+    percentile,
+    speedup_percentage,
+    weighted_speedup,
+)
+from repro.sim.stats import RunStatistics
+
+
+class TestWeightedSpeedup:
+    def test_equal_to_core_count_when_no_interference(self):
+        ipc = {0: 1.0, 1: 2.0, 2: 0.5}
+        assert weighted_speedup(ipc, ipc) == pytest.approx(3.0)
+
+    def test_halved_ipcs_halve_weighted_speedup(self):
+        alone = {0: 1.0, 1: 2.0}
+        shared = {0: 0.5, 1: 1.0}
+        assert weighted_speedup(shared, alone) == pytest.approx(1.0)
+
+    def test_include_filter_for_benign_threads(self):
+        alone = {0: 1.0, 1: 1.0, 2: 1.0, 3: 1.0}
+        shared = {0: 0.5, 1: 0.5, 2: 0.5, 3: 0.01}
+        assert weighted_speedup(shared, alone, include=[0, 1, 2]) == pytest.approx(1.5)
+
+    def test_missing_alone_ipc_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_speedup({0: 1.0}, {0: 0.0})
+        with pytest.raises(ValueError):
+            weighted_speedup({}, {})
+
+
+class TestMaxSlowdown:
+    def test_worst_thread_dominates(self):
+        alone = {0: 1.0, 1: 1.0}
+        shared = {0: 0.5, 1: 0.25}
+        assert max_slowdown(shared, alone) == pytest.approx(4.0)
+
+    def test_no_interference_gives_one(self):
+        ipc = {0: 1.0, 1: 2.0}
+        assert max_slowdown(ipc, ipc) == pytest.approx(1.0)
+
+    def test_zero_shared_ipc_gives_infinite_slowdown(self):
+        assert max_slowdown({0: 0.0}, {0: 1.0}) == float("inf")
+
+
+class TestOtherMetrics:
+    def test_harmonic_speedup_bounds(self):
+        alone = {0: 1.0, 1: 1.0}
+        shared = {0: 0.5, 1: 1.0}
+        hs = harmonic_speedup(shared, alone)
+        assert 0.5 < hs < 1.0
+        assert harmonic_speedup({0: 0.0}, {0: 1.0}) == 0.0
+
+    def test_percentile_interpolation(self):
+        values = [0, 10, 20, 30, 40]
+        assert percentile(values, 0.0) == 0
+        assert percentile(values, 1.0) == 40
+        assert percentile(values, 0.5) == 20
+        assert percentile(values, 0.25) == 10
+        assert percentile([7], 0.9) == 7
+
+    def test_percentile_validation(self):
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+        with pytest.raises(ValueError):
+            percentile([1], 1.5)
+
+    def test_latency_percentiles_keys(self):
+        curve = latency_percentiles([1, 2, 3, 4, 5], points=(50, 100))
+        assert set(curve) == {50, 100}
+        assert curve[100] == 5
+
+    def test_geometric_mean(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_normalize_and_speedup_percentage(self):
+        assert normalize([2.0, 4.0], 2.0) == [1.0, 2.0]
+        assert speedup_percentage(1.5, 1.0) == pytest.approx(50.0)
+        with pytest.raises(ValueError):
+            normalize([1.0], 0.0)
+        with pytest.raises(ValueError):
+            speedup_percentage(1.0, 0.0)
+
+    @settings(max_examples=100, deadline=None)
+    @given(values=st.lists(st.floats(min_value=0.1, max_value=100),
+                           min_size=1, max_size=20))
+    def test_geomean_between_min_and_max(self, values):
+        gm = geometric_mean(values)
+        assert min(values) - 1e-9 <= gm <= max(values) + 1e-9
+
+    @settings(max_examples=100, deadline=None)
+    @given(values=st.lists(st.floats(min_value=0, max_value=1000),
+                           min_size=1, max_size=50),
+           fraction=st.floats(min_value=0, max_value=1))
+    def test_percentile_within_range(self, values, fraction):
+        p = percentile(values, fraction)
+        assert min(values) - 1e-6 <= p <= max(values) + 1e-6
+
+
+class TestRunStatistics:
+    def make(self):
+        return RunStatistics(
+            cycles=1000,
+            ipc_by_thread={0: 1.0, 1: 0.5},
+            instructions_by_thread={0: 1000, 1: 500},
+            read_latencies=[10, 20, 30, 40],
+            latency_by_thread={0: [10, 20], 1: [30, 40]},
+            row_hits=30,
+            row_misses=10,
+        )
+
+    def test_totals(self):
+        stats = self.make()
+        assert stats.total_instructions == 1500
+        assert stats.total_ipc == pytest.approx(1.5)
+        assert stats.ipc_of(0) == 1.0
+        assert stats.ipc_of(9) == 0.0
+
+    def test_row_hit_rate(self):
+        assert self.make().row_hit_rate == pytest.approx(0.75)
+        empty = RunStatistics(cycles=1)
+        assert empty.row_hit_rate == 0.0
+
+    def test_latency_curves(self):
+        stats = self.make()
+        all_curve = stats.latency_curve(points=(50, 100))
+        assert all_curve[100] == 40
+        thread0 = stats.latency_curve([0], points=(100,))
+        assert thread0[100] == 20
+        missing = stats.latency_curve([5], points=(50,))
+        assert missing[50] == 0.0
+
+    def test_mean_latency(self):
+        assert self.make().mean_read_latency() == pytest.approx(25.0)
+        assert RunStatistics(cycles=1).mean_read_latency() == 0.0
+
+    def test_summary_keys(self):
+        summary = self.make().summary()
+        assert {"cycles", "total_ipc", "preventive_actions"} <= set(summary)
+
+    def test_energy_defaults_to_zero(self):
+        assert self.make().energy_mj == 0.0

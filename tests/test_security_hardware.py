@@ -1,0 +1,146 @@
+"""Tests for the security analysis (§5, Fig. 5) and the hardware model (§6)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.hardware_model import HardwareCostModel
+from repro.core.security import SecurityAnalysis, max_attacker_score_ratio
+from repro.core.suspect import SuspectDetector
+from repro.dram.config import DeviceConfig
+
+
+class TestExpression2:
+    def test_paper_observation_50pct(self):
+        """TH_outlier=0.65, 50% attacker threads → ≈4.71× (paper §5.2)."""
+
+        assert max_attacker_score_ratio(0.5, 0.65) == pytest.approx(4.71, abs=0.01)
+
+    def test_paper_observation_90pct(self):
+        """TH_outlier=0.05, 90% attacker threads → ≈1.90× (paper §5.2)."""
+
+        assert max_attacker_score_ratio(0.9, 0.05) == pytest.approx(1.90, abs=0.01)
+
+    def test_abstract_claim_twice_benign_needs_90pct(self):
+        """Paper §1: with a strict outlier threshold, an attacker cannot
+        trigger twice the benign preventive-action count unless it controls
+        ~90% of all hardware threads."""
+
+        analysis = SecurityAnalysis()
+        strict = analysis.minimum_attacker_share_for_ratio(2.0, 0.05)
+        assert strict >= 0.9
+        # A looser threshold admits the 2x ratio with fewer threads, but
+        # still only beyond a non-trivial share.
+        loose = analysis.minimum_attacker_share_for_ratio(2.0, 0.65)
+        assert 0.1 <= loose < strict
+
+    def test_zero_attackers_bound_is_one_plus_th(self):
+        assert max_attacker_score_ratio(0.0, 0.65) == pytest.approx(1.65)
+
+    def test_diverges_when_attacker_majority_overwhelms(self):
+        assert math.isinf(max_attacker_score_ratio(1.0, 0.65))
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            max_attacker_score_ratio(-0.1, 0.5)
+        with pytest.raises(ValueError):
+            max_attacker_score_ratio(0.5, -1.0)
+
+    @settings(max_examples=100, deadline=None)
+    @given(fraction=st.floats(min_value=0.0, max_value=0.99),
+           outlier=st.floats(min_value=0.0, max_value=1.0))
+    def test_bound_monotone_in_attacker_share(self, fraction, outlier):
+        """Property: more attacker threads never reduce the achievable ratio."""
+
+        lower = max_attacker_score_ratio(fraction, outlier)
+        higher = max_attacker_score_ratio(min(1.0, fraction + 0.01), outlier)
+        assert higher >= lower - 1e-9
+
+    @settings(max_examples=100, deadline=None)
+    @given(fraction=st.floats(min_value=0.01, max_value=0.5),
+           outlier=st.floats(min_value=0.05, max_value=1.0))
+    def test_bound_consistent_with_detector(self, fraction, outlier):
+        """Property: an attacker just below the bound is not flagged, and one
+        comfortably above it is — tying Expression 2 to Algorithm 1."""
+
+        num_threads = 20
+        num_attackers = max(1, int(round(fraction * num_threads)))
+        num_benign = num_threads - num_attackers
+        bound = max_attacker_score_ratio(num_attackers / num_threads, outlier)
+        if math.isinf(bound):
+            return
+        benign_score = 100.0
+        detector = SuspectDetector(threat_threshold=0.0,
+                                   outlier_threshold=outlier)
+        just_below = [benign_score * bound * 0.99] * num_attackers + \
+                     [benign_score] * num_benign
+        assert detector.evaluate(just_below).suspects == ()
+        above = [benign_score * bound * 1.05] * num_attackers + \
+                [benign_score] * num_benign
+        decision = detector.evaluate(above)
+        assert set(decision.suspects) == set(range(num_attackers))
+
+
+class TestFigure5Series:
+    def test_all_thresholds_present(self):
+        analysis = SecurityAnalysis()
+        data = analysis.figure5()
+        assert len(data) == 10
+        assert 0.65 in data
+
+    def test_curves_capped(self):
+        analysis = SecurityAnalysis()
+        for values in analysis.figure5(cap=10.0).values():
+            assert all(v <= 10.0 for v in values)
+
+    def test_higher_outlier_threshold_gives_higher_curve(self):
+        analysis = SecurityAnalysis()
+        low = analysis.curve(0.05)
+        high = analysis.curve(0.95)
+        assert all(h >= l for h, l in zip(high, low))
+
+
+class TestHardwareModel:
+    def test_storage_matches_paper_inventory(self):
+        model = HardwareCostModel(num_threads=4)
+        # 2×32-bit scores + 16-bit activation counter + 2 flags = 82 bits.
+        assert model.bits_per_thread() == 82
+        assert model.total_bits() == 4 * 82
+
+    def test_reference_area_reproduced(self):
+        model = HardwareCostModel(num_threads=4, channels=1)
+        report = model.report()
+        assert report.area_mm2_per_channel == pytest.approx(0.000105, rel=1e-6)
+
+    def test_area_fraction_of_xeon_is_tiny(self):
+        report = HardwareCostModel(num_threads=4).report()
+        assert report.xeon_area_fraction < 1e-5  # "near-zero area overhead"
+
+    def test_latency_under_trrd(self):
+        report = HardwareCostModel(num_threads=4).report()
+        assert report.decision_latency_ns == pytest.approx(1 / 1.5, rel=1e-3)
+        assert report.fits_under_trrd
+        assert report.decision_latency_ns < report.trrd_ns
+
+    def test_area_scales_with_threads_and_channels(self):
+        small = HardwareCostModel(num_threads=4, channels=1).report()
+        big = HardwareCostModel(num_threads=64, channels=4).report()
+        assert big.area_mm2_total > small.area_mm2_total
+        assert big.area_mm2_total == pytest.approx(
+            small.area_mm2_total * 16 * 4, rel=1e-6)
+
+    def test_ddr4_trrd_still_above_latency(self):
+        model = HardwareCostModel(num_threads=4,
+                                  device_config=DeviceConfig.ddr4_3200())
+        assert model.report().fits_under_trrd
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HardwareCostModel(num_threads=0)
+        with pytest.raises(ValueError):
+            HardwareCostModel(channels=0)
+
+    def test_report_dict(self):
+        data = HardwareCostModel().report().as_dict()
+        assert "area_mm2_total" in data and "pipeline_stages" in data
