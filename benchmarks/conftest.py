@@ -12,10 +12,20 @@ Scale is controlled by the ``REPRO_BENCH_PROFILE`` environment variable:
 * ``full``           — the paper's full 7-point N_RH sweep and all six mixes
   (expect a long run),
 * ``smoke``          — minimal, for checking the harness itself.
+
+The simulation engine is controlled by ``REPRO_ENGINE``:
+
+* ``fast`` (default) — event-driven fast-forward engine,
+* ``cycle``          — the per-cycle reference engine.
+
+Both engines produce identical statistics (asserted by
+``tests/test_engine_equivalence.py``); the variable exists so regressions in
+either engine can be timed and bisected independently.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import sys
 from pathlib import Path
@@ -28,15 +38,23 @@ if str(_SRC) not in sys.path:
 
 from repro.analysis.experiments import ExperimentRunner, HarnessConfig  # noqa: E402
 from repro.analysis.report import render_figure, render_table  # noqa: E402
+from repro.sim.config import SIMULATION_ENGINES  # noqa: E402
 
 
 def _profile() -> HarnessConfig:
     name = os.environ.get("REPRO_BENCH_PROFILE", "fast").lower()
     if name == "full":
-        return HarnessConfig()
-    if name == "smoke":
-        return HarnessConfig.smoke()
-    return HarnessConfig.fast()
+        config = HarnessConfig()
+    elif name == "smoke":
+        config = HarnessConfig.smoke()
+    else:
+        config = HarnessConfig.fast()
+    engine = os.environ.get("REPRO_ENGINE", config.engine).lower()
+    if engine not in SIMULATION_ENGINES:
+        raise ValueError(
+            f"REPRO_ENGINE={engine!r} is not one of {SIMULATION_ENGINES}"
+        )
+    return dataclasses.replace(config, engine=engine)
 
 
 @pytest.fixture(scope="session")

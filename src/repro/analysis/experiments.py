@@ -49,7 +49,14 @@ from repro.workloads.mixes import (
 
 @dataclass(frozen=True)
 class HarnessConfig:
-    """Scale knobs of the experiment harness."""
+    """Scale knobs of the experiment harness.
+
+    ``engine`` selects the simulation driver for every run the harness
+    executes (see :class:`repro.sim.config.SimulationConfig`).  The figure
+    sweeps default to the event-driven ``"fast"`` engine — it produces
+    statistics identical to the ``"cycle"`` engine while skipping the
+    cycles in which nothing can happen, which multiplies sweep throughput.
+    """
 
     sim_cycles: int = 25_000
     entries_per_core: int = 8_000
@@ -63,6 +70,12 @@ class HarnessConfig:
     seeds: Tuple[int, ...] = (0,)
     threat_threshold: float = 4.0
     outlier_threshold: float = 0.65
+    engine: str = "fast"
+
+    def simulation_config(self) -> SimulationConfig:
+        """The per-run simulation bounds this harness profile implies."""
+
+        return SimulationConfig(max_cycles=self.sim_cycles, engine=self.engine)
 
     @classmethod
     def fast(cls) -> "HarnessConfig":
@@ -151,7 +164,7 @@ class ExperimentRunner:
         simulator = Simulator(
             self.system_config(mechanism, nrh, breakhammer),
             mix.traces,
-            SimulationConfig(max_cycles=self.config.sim_cycles),
+            self.config.simulation_config(),
             attacker_threads=mix.attacker_threads,
         )
         result = simulator.run()
@@ -167,9 +180,8 @@ class ExperimentRunner:
         config = self._base_system.with_(
             num_cores=1, mitigation="none", breakhammer_enabled=False
         )
-        simulator = Simulator(
-            config, [trace], SimulationConfig(max_cycles=self.config.sim_cycles)
-        )
+        simulator = Simulator(config, [trace],
+                              self.config.simulation_config())
         result = simulator.run()
         ipc = max(1e-6, result.stats.ipc_of(0))
         self._alone_ipc_cache[trace.name] = ipc
@@ -654,7 +666,7 @@ class ExperimentRunner:
             )
             simulator = Simulator(
                 config, mix.traces,
-                SimulationConfig(max_cycles=self.config.sim_cycles),
+                self.config.simulation_config(),
                 attacker_threads=mix.attacker_threads,
             )
             result = simulator.run()

@@ -13,6 +13,13 @@ issues at most one DRAM command, chosen with the following priority order
 
 Every issued ACT and every completed preventive action is reported to the
 registered observers; BreakHammer registers itself as such an observer.
+
+For the fast-forward engine the controller reports, after each tick,
+whether the tick did anything observable and — when it did not — the
+earliest future cycle it possibly can (:meth:`MemoryController.
+next_event_cycle`), derived from the timing bounds of the commands it
+tried but failed to issue, in-flight completion times, refresh deadlines,
+and the mitigation mechanism's own clock.
 """
 
 from __future__ import annotations
@@ -110,6 +117,14 @@ class MemoryController:
         self.cycle = 0
         self._next_refresh_window = self.timing.refresh_window
 
+        # Fast-forward bookkeeping, refreshed by every tick(): whether the
+        # tick had any observable effect, and the (kind, rank, bank_group,
+        # bank) coordinates of the commands it tried but failed to issue.
+        # next_event_cycle() turns the latter into timing bounds lazily, so
+        # busy ticks pay nothing for the bookkeeping.
+        self._progress = True
+        self._stalled_commands: List[Tuple] = []
+
     # ------------------------------------------------------------------ #
     # Public API
     # ------------------------------------------------------------------ #
@@ -145,27 +160,87 @@ class MemoryController:
         """Advance one cycle; return the requests that completed this cycle."""
 
         self.cycle = cycle
+        self._progress = False
+        self._stalled_commands.clear()
         self.refresh_manager.tick(cycle)
         self._tick_refresh_window(cycle)
         self._collect_mitigation_ticks(cycle)
         completed = self._drain_completed(cycle)
+        if completed:
+            self._progress = True
         self._update_write_drain()
         self._issue_one_command(cycle)
         return completed
+
+    def next_event_cycle(self) -> Optional[int]:
+        """Earliest future cycle at which this controller can act.
+
+        Only meaningful immediately after :meth:`tick`.  Returns
+        ``cycle + 1`` whenever the last tick issued a command, completed a
+        request, or mutated any statistic (a blocked activation counts —
+        the cycle engine re-attempts and re-counts it every cycle), so the
+        fast engine stays cycle-accurate through busy periods.  When the
+        last tick was provably idle, the result is the minimum of the
+        collected command-timing bounds, in-flight completion times,
+        refresh deadlines, and the mitigation mechanism's own deadlines.
+        ``None`` means the controller has no future work at all.
+        """
+
+        cycle = self.cycle
+        if self._progress:
+            return cycle + 1
+        earliest = self._next_refresh_window
+        for kind, rank, bank_group, bank in self._stalled_commands:
+            bound = self.channel.kind_earliest_ready_cycle(
+                kind, rank, bank_group, bank, cycle
+            )
+            if bound <= cycle:
+                # A nominally-ready command did not issue: a non-timing
+                # condition intervened.  Fall back to per-cycle stepping.
+                return cycle + 1
+            if bound < earliest:
+                earliest = bound
+        if self._in_flight:
+            done_event = min(done for done, _ in self._in_flight)
+            if done_event < earliest:
+                earliest = done_event
+        urgent_delay = int(self.REFRESH_PRIORITY_URGENCY * self.timing.trefi)
+        for state in self.refresh_manager.states:
+            if state.pending:
+                # A pending REF changes scheduling priority once it becomes
+                # urgent; make sure that crossing is simulated.
+                event = state.next_refresh_cycle + urgent_delay
+                if event <= cycle:
+                    continue
+            else:
+                event = state.next_refresh_cycle
+            if event < earliest:
+                earliest = event
+        mitigation_event = self.mitigation.next_event_cycle(cycle)
+        if mitigation_event is not None and \
+                cycle < mitigation_event < earliest:
+            earliest = mitigation_event
+        if earliest <= cycle:
+            return cycle + 1
+        return earliest
 
     # ------------------------------------------------------------------ #
     # Internal: housekeeping
     # ------------------------------------------------------------------ #
     def _tick_refresh_window(self, cycle: int) -> None:
-        if cycle >= self._next_refresh_window:
+        while cycle >= self._next_refresh_window:
             self.mitigation.on_refresh_window(cycle)
             self._next_refresh_window += self.timing.refresh_window
+            self._progress = True
 
     def _collect_mitigation_ticks(self, cycle: int) -> None:
         for action in self.mitigation.tick(cycle):
             self._pending_actions.append(action)
+            self._progress = True
 
     def _drain_completed(self, cycle: int) -> List[MemoryRequest]:
+        if not self._in_flight:
+            return []
         done: List[MemoryRequest] = []
         remaining: List[Tuple[int, MemoryRequest]] = []
         for done_cycle, request in self._in_flight:
@@ -235,22 +310,32 @@ class MemoryController:
             self.energy.record(CommandType.REF)
             self.refresh_manager.refresh_issued(rank, cycle)
             self.stats.refreshes += 1
+            self._progress = True
             return True
         # Close an open bank in this rank so the refresh can go out soon.
+        any_open = False
         for bank in self.channel.rank(rank).iter_banks():
             if bank.is_open():
-                pre = Command(
-                    CommandType.PRE,
-                    channel=self.channel_index,
-                    rank=rank,
-                    bank_group=bank.bank_group,
-                    bank=bank.bank,
-                )
-                if self.channel.ready(pre, cycle):
+                any_open = True
+                if self.channel.kind_ready(CommandType.PRE, rank,
+                                           bank.bank_group, bank.bank, cycle):
+                    pre = Command(
+                        CommandType.PRE,
+                        channel=self.channel_index,
+                        rank=rank,
+                        bank_group=bank.bank_group,
+                        bank=bank.bank,
+                    )
                     self.channel.issue(pre, cycle)
                     self.energy.record(CommandType.PRE)
                     self.stats.precharges += 1
+                    self._progress = True
                     return True
+                self._stalled_commands.append(
+                    (CommandType.PRE, rank, bank.bank_group, bank.bank)
+                )
+        if not any_open:
+            self._stalled_commands.append((CommandType.REF, rank, 0, 0))
         return False
 
     # -- preventive maintenance ------------------------------------------ #
@@ -266,6 +351,7 @@ class MemoryController:
             self.channel.issue(command, cycle)
             self.energy.record(command.kind)
             self.stats.preventive_commands += 1
+            self._progress = True
             action.commands.pop(0)
             if not action.commands:
                 self._finish_action(action, cycle)
@@ -285,13 +371,23 @@ class MemoryController:
                 self.channel.issue(pre, cycle)
                 self.energy.record(CommandType.PRE)
                 self.stats.precharges += 1
+                self._progress = True
                 return True
+            self._stalled_commands.append(
+                (CommandType.PRE, command.rank, command.bank_group,
+                 command.bank)
+            )
+        else:
+            self._stalled_commands.append(
+                (command.kind, command.rank, command.bank_group, command.bank)
+            )
         return False
 
     def _finish_action(self, action: PreventiveAction, cycle: int) -> None:
         action.completed_cycle = cycle
         self._pending_actions.remove(action)
         self.stats.preventive_actions += 1
+        self._progress = True
         for observer in self.observers:
             observer.on_preventive_action(action, cycle)
 
@@ -312,7 +408,8 @@ class MemoryController:
         candidates = self._candidate_requests()
         if not candidates:
             return False
-        ordered = self.scheduler.prioritize(candidates, self.channel, cycle)
+        ordered = self.scheduler.iter_prioritized(candidates, self.channel,
+                                                  cycle, dedup_banks=True)
         attempts = 0
         # A bank that could not accept one candidate's command this cycle
         # will not accept another candidate's either, so each bank is tried
@@ -335,10 +432,22 @@ class MemoryController:
         request = decision.request
         coord = request.coordinate
         assert coord is not None
-        bank = self.channel.bank(coord.rank, coord.bank_group, coord.bank)
+        channel = self.channel
+        bank = channel.ranks[coord.rank].banks[coord.bank_group][coord.bank]
+        bank_open = bank.is_open()
+        # Readiness is probed through Channel.kind_ready (the single source
+        # of the timing rules, shared with next_event_cycle's bound
+        # estimates) before any Command object is built: most attempts on a
+        # saturated channel fail.
 
-        if bank.is_open(coord.row):
+        if bank_open and bank.open_row == coord.row:
             kind = CommandType.WR if request.is_write else CommandType.RD
+            if not channel.kind_ready(kind, coord.rank, coord.bank_group,
+                                      coord.bank, cycle):
+                self._stalled_commands.append(
+                    (kind, coord.rank, coord.bank_group, coord.bank)
+                )
+                return False
             command = Command(
                 kind,
                 channel=self.channel_index,
@@ -349,11 +458,10 @@ class MemoryController:
                 column=coord.column,
                 source_thread=request.thread_id,
             )
-            if not self.channel.ready(command, cycle):
-                return False
             done = self.channel.issue(command, cycle)
             self.energy.record(kind)
             self.stats.row_hits += 1
+            self._progress = True
             if request.first_command_cycle is None:
                 request.first_command_cycle = cycle
             self._remove_from_queue(request)
@@ -361,8 +469,14 @@ class MemoryController:
             self.scheduler.notify_served(decision)
             return True
 
-        if bank.is_open():
+        if bank_open:
             # Row conflict: close the open row first.
+            if not channel.kind_ready(CommandType.PRE, coord.rank,
+                                      coord.bank_group, coord.bank, cycle):
+                self._stalled_commands.append(
+                    (CommandType.PRE, coord.rank, coord.bank_group, coord.bank)
+                )
+                return False
             pre = Command(
                 CommandType.PRE,
                 channel=self.channel_index,
@@ -370,22 +484,33 @@ class MemoryController:
                 bank_group=coord.bank_group,
                 bank=coord.bank,
             )
-            if not self.channel.ready(pre, cycle):
-                return False
             self.channel.issue(pre, cycle)
             self.energy.record(CommandType.PRE)
             self.stats.precharges += 1
             self.stats.row_conflicts += 1
+            self._progress = True
             bank.record_conflict()
             return True
 
         # Bank closed: activate the row (subject to the mitigation's gate and
         # to refresh priority — new activations would starve an overdue REF).
+        # These two gates are not timing conditions, so no idle bound is
+        # recorded for them: the refresh itself and the mitigation deadline
+        # are tracked as events of their own.
         if self.refresh_manager.urgency(coord.rank, cycle) >= \
                 self.REFRESH_PRIORITY_URGENCY:
             return False
         if not self.mitigation.allow_activation(coord, cycle):
+            # Counted per attempted cycle, so the fast engine must keep
+            # stepping cycle by cycle while an activation is being delayed.
             self.stats.blocked_activations += 1
+            self._progress = True
+            return False
+        if not channel.kind_ready(CommandType.ACT, coord.rank,
+                                  coord.bank_group, coord.bank, cycle):
+            self._stalled_commands.append(
+                (CommandType.ACT, coord.rank, coord.bank_group, coord.bank)
+            )
             return False
         act = Command(
             CommandType.ACT,
@@ -396,13 +521,12 @@ class MemoryController:
             row=coord.row,
             source_thread=request.thread_id,
         )
-        if not self.channel.ready(act, cycle):
-            return False
         self.channel.issue(act, cycle)
         self.energy.record(CommandType.ACT)
         self.energy.record(CommandType.PRE)  # every ACT implies a later PRE pair
         self.stats.record_activation(request.thread_id)
         self.stats.row_misses += 1
+        self._progress = True
         if request.first_command_cycle is None:
             request.first_command_cycle = cycle
         self._notify_activation(coord, request.thread_id, cycle)

@@ -24,14 +24,21 @@ class RequestType(enum.Enum):
     READ = "read"
     WRITE = "write"
 
-    @property
-    def is_write(self) -> bool:
-        return self is RequestType.WRITE
+
+# Assigned once as plain member attributes (not properties): the controller
+# reads the flag on every queue/serve/complete step of every request.
+RequestType.READ.is_write = False
+RequestType.WRITE.is_write = True
 
 
-@dataclass
+@dataclass(eq=False, slots=True)
 class MemoryRequest:
     """One cacheline-granularity memory request.
+
+    Identity equality (``eq=False``): a request is a unique in-flight unit
+    of work, and queue removal must match this object, not any request that
+    happens to carry equal field values — which field-wise comparison also
+    made a hot-path cost in ``RequestQueue.remove``.
 
     Attributes
     ----------

@@ -19,7 +19,7 @@ from repro.controller.request import MemoryRequest
 from repro.dram.device import Channel
 
 
-@dataclass
+@dataclass(slots=True)
 class SchedulerDecision:
     """The request chosen by the scheduler, with the reason recorded."""
 
@@ -42,6 +42,29 @@ class BaseScheduler:
     def prioritize(self, candidates: List[MemoryRequest], channel: Channel,
                    cycle: int) -> List[SchedulerDecision]:
         raise NotImplementedError
+
+    def iter_prioritized(self, candidates: List[MemoryRequest],
+                         channel: Channel, cycle: int,
+                         dedup_banks: bool = False
+                         ) -> Iterable[SchedulerDecision]:
+        """Yield decisions in priority order, constructing them on demand.
+
+        The controller stops consuming after the first issued command (at
+        most ``MAX_SCHEDULE_ATTEMPTS`` failures), so building the full
+        decision list every cycle is wasted work on the hot path.  The
+        default just materialises :meth:`prioritize`; policies override it
+        to construct only the consumed prefix.
+
+        With ``dedup_banks`` the iterator may omit decisions that the
+        controller provably never attempts: it only ever tries the first
+        decision offered for each bank per cycle (a bank that refused one
+        command this cycle refuses the rest, and a served request ends the
+        cycle), so lower-priority decisions for an already-offered bank are
+        dead weight.  Policies that don't implement the dedup ignore the
+        flag — emitting the full sequence is always correct.
+        """
+
+        return self.prioritize(candidates, channel, cycle)
 
     def choose(self, candidates: List[MemoryRequest], channel: Channel,
                cycle: int) -> Optional[SchedulerDecision]:
@@ -114,63 +137,94 @@ class FrFcfsCapScheduler(BaseScheduler):
             raise ValueError("cap must be at least 1")
         self.cap = cap
         self._hits_over_misses: Dict[tuple, int] = {}
+        # Bank objects are immortal for a given channel; resolving them
+        # through Channel.bank() on every classify pass was measurable.
+        self._bank_cache: Dict[tuple, object] = {}
+        self._bank_cache_channel: Optional[Channel] = None
 
     def prioritize(self, candidates: List[MemoryRequest], channel: Channel,
                    cycle: int) -> List[SchedulerDecision]:
+        return list(self.iter_prioritized(candidates, channel, cycle))
+
+    def iter_prioritized(self, candidates: List[MemoryRequest],
+                         channel: Channel, cycle: int,
+                         dedup_banks: bool = False
+                         ) -> Iterable[SchedulerDecision]:
+        """Yield FR-FCFS+Cap decisions in priority order, lazily.
+
+        This is the controller's hottest loop, so it streams: candidates
+        arrive in queue (= arrival) order, which makes "an older miss to
+        this bank exists" exactly "a miss to this bank appeared earlier in
+        the walk" — so an eligible row hit can be yielded the moment it is
+        encountered, and when the controller issues for it (the common
+        case) the rest of the queue is never classified at all.  Misses and
+        cap-deferred hits are collected during the walk and yielded after
+        it, each already oldest-first.  Each bank is resolved exactly once
+        per walk (open-row lookups dominated when done per candidate).
+
+        ``dedup_banks`` (see the base class) prunes the sequence to the
+        first decision per bank: later same-bank hits can only follow a
+        yielded hit (skipped by the consumer's failed-bank rule), younger
+        misses can only follow their bank's oldest miss (ditto), and a
+        cap-deferred hit always has an older miss to the same bank ahead
+        of it in the sequence, so under the dedup rule it is never
+        attempted at all.
+        """
+
         if not candidates:
-            return []
-
-        def bank_of(req: MemoryRequest) -> tuple:
-            assert req.coordinate is not None
-            return req.coordinate.bank_key
-
-        hits: List[MemoryRequest] = []
-        misses: List[MemoryRequest] = []
+            return
+        if channel is not self._bank_cache_channel:
+            # Bank objects are immortal per channel; re-keying the cache
+            # guards tests that share one scheduler across channels.
+            self._bank_cache = {}
+            self._bank_cache_channel = channel
+        bank_cache = self._bank_cache
+        open_row_by_bank: Dict[tuple, Optional[int]] = {}
+        # Banks that already produced a miss (ordered_misses holds the
+        # oldest per bank plus, without dedup, every younger one).
+        banks_with_miss: set = set()
+        hit_yielded: set = set()
+        ordered_misses: List[tuple] = []  # (bank_key or None, request)
+        deferred_hits: List[MemoryRequest] = []
+        caps = self._hits_over_misses
+        cap = self.cap
         for req in candidates:
             coord = req.coordinate
             if coord is None:
-                misses.append(req)
+                ordered_misses.append((None, req))
                 continue
-            bank = channel.bank(coord.rank, coord.bank_group, coord.bank)
-            (hits if bank.is_open(coord.row) else misses).append(req)
-
-        oldest_miss_by_bank: Dict[tuple, MemoryRequest] = {}
-        for req in misses:
-            key = bank_of(req)
-            cur = oldest_miss_by_bank.get(key)
-            if cur is None or (req.arrival_cycle, req.request_id) < (
-                cur.arrival_cycle, cur.request_id
-            ):
-                oldest_miss_by_bank[key] = req
-
-        # Row hits that have not exhausted the cap against an older miss.
-        eligible_hits: List[MemoryRequest] = []
-        deferred_hits: List[MemoryRequest] = []
-        for req in hits:
-            key = bank_of(req)
-            older_miss = oldest_miss_by_bank.get(key)
-            if older_miss is not None and (
-                older_miss.arrival_cycle,
-                older_miss.request_id,
-            ) < (req.arrival_cycle, req.request_id):
-                if self._hits_over_misses.get(key, 0) >= self.cap:
-                    deferred_hits.append(req)  # cap reached: miss goes first
-                    continue
-            eligible_hits.append(req)
-
-        # Candidates arrive in queue (= arrival) order, so the sub-lists are
-        # already oldest-first; no re-sorting is needed on the hot path.
-        ordered: List[SchedulerDecision] = []
-        ordered.extend(
-            SchedulerDecision(req, True, "row-hit") for req in eligible_hits
-        )
-        ordered.extend(
-            SchedulerDecision(req, False, "oldest-miss") for req in misses
-        )
-        ordered.extend(
-            SchedulerDecision(req, True, "capped-hit") for req in deferred_hits
-        )
-        return ordered
+            key = coord.bank_key
+            if key in hit_yielded:
+                continue  # only reachable with dedup_banks
+            try:
+                open_row = open_row_by_bank[key]
+            except KeyError:
+                bank = bank_cache.get(key)
+                if bank is None:
+                    bank = channel.bank(coord.rank, coord.bank_group,
+                                        coord.bank)
+                    bank_cache[key] = bank
+                open_row = bank.open_row if bank.is_open() else None
+                open_row_by_bank[key] = open_row
+            if open_row is not None and open_row == coord.row:
+                if key in banks_with_miss and caps.get(key, 0) >= cap:
+                    if not dedup_banks:
+                        deferred_hits.append(req)  # cap: miss goes first
+                else:
+                    yield SchedulerDecision(req, True, "row-hit")
+                    if dedup_banks:
+                        hit_yielded.add(key)
+            elif key not in banks_with_miss:
+                banks_with_miss.add(key)
+                ordered_misses.append((key, req))
+            elif not dedup_banks:
+                ordered_misses.append((key, req))
+        for key, req in ordered_misses:
+            if key is not None and key in hit_yielded:
+                continue  # a yielded hit outranks this bank's misses
+            yield SchedulerDecision(req, False, "oldest-miss")
+        for req in deferred_hits:
+            yield SchedulerDecision(req, True, "capped-hit")
 
     def notify_served(self, decision: SchedulerDecision) -> None:
         coord = decision.request.coordinate

@@ -148,12 +148,25 @@ class BreakHammer:
     # ------------------------------------------------------------------ #
     # Periodic work
     # ------------------------------------------------------------------ #
-    def tick(self, cycle: int) -> None:
-        """Advance the throttling-window clock."""
+    def tick(self, cycle: int) -> int:
+        """Advance the throttling-window clock; return windows ended.
 
-        if cycle >= self._next_window_end:
+        The loop (rather than a single ``if``) lets the clock catch up when
+        the fast-forward engine jumps the simulation over several window
+        boundaries at once.
+        """
+
+        windows_ended = 0
+        while cycle >= self._next_window_end:
             self._end_window()
             self._next_window_end += self.window_cycles
+            windows_ended += 1
+        return windows_ended
+
+    def next_event_cycle(self) -> int:
+        """The next cycle at which :meth:`tick` will do work (window end)."""
+
+        return self._next_window_end
 
     def _end_window(self) -> None:
         self.stats.windows_elapsed += 1

@@ -12,7 +12,6 @@ the system wiring (the cache only classifies accesses and manages tags).
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -100,9 +99,11 @@ class SetAssociativeCache:
                  name: str = "llc") -> None:
         self.config = config or CacheConfig()
         self.name = name
-        # One OrderedDict per set: key = tag, order = LRU (front = LRU).
-        self._sets: List[OrderedDict] = [
-            OrderedDict() for _ in range(self.config.num_sets)
+        # One insertion-ordered dict per set: key = tag, order = LRU
+        # (front = LRU).  Plain dicts preserve insertion order and are
+        # faster than OrderedDict on this, the hottest lookup path.
+        self._sets: List[dict] = [
+            {} for _ in range(self.config.num_sets)
         ]
         self.stats = CacheStats()
 
@@ -125,6 +126,30 @@ class SetAssociativeCache:
         index, tag = self._index_and_tag(address)
         return tag in self._sets[index]
 
+    def access_if_resident(self, address: int, is_write: bool = False,
+                           thread_id: Optional[int] = None
+                           ) -> Optional[AccessResult]:
+        """Perform the access only if the line is resident.
+
+        Returns the hit result, or ``None`` — recording *nothing* — when the
+        line is absent.  The system's send path uses this to fuse the old
+        probe-then-access pair into one tag lookup: a stalled-and-retried
+        miss must not inflate the miss statistics, so the miss is recorded
+        separately (via :meth:`access`) only once the access is accepted.
+        """
+
+        index, tag = self._index_and_tag(address)
+        target_set = self._sets[index]
+        if tag not in target_set:
+            return None
+        line = target_set.pop(tag)
+        if is_write:
+            line.dirty = True
+        line.owner_thread = thread_id
+        target_set[tag] = line  # move to MRU position
+        self.stats.record(True, thread_id)
+        return AccessResult(hit=True, latency=self.config.hit_latency)
+
     def access(self, address: int, is_write: bool = False,
                thread_id: Optional[int] = None) -> AccessResult:
         """Perform an access; on a miss the line is *not* yet filled.
@@ -134,16 +159,10 @@ class SetAssociativeCache:
         based hierarchy works and lets BreakHammer's MSHR quotas gate fills.
         """
 
-        index, tag = self._index_and_tag(address)
-        target_set = self._sets[index]
-        if tag in target_set:
-            line = target_set.pop(tag)
-            if is_write:
-                line.dirty = True
-            line.owner_thread = thread_id
-            target_set[tag] = line  # move to MRU position
-            self.stats.record(True, thread_id)
-            return AccessResult(hit=True, latency=self.config.hit_latency)
+        result = self.access_if_resident(address, is_write=is_write,
+                                         thread_id=thread_id)
+        if result is not None:
+            return result
         self.stats.record(False, thread_id)
         return AccessResult(hit=False, latency=self.config.hit_latency)
 
@@ -163,7 +182,8 @@ class SetAssociativeCache:
             target_set[tag] = line
             return None
         if len(target_set) >= self.config.associativity:
-            victim_tag, victim = target_set.popitem(last=False)
+            victim_tag = next(iter(target_set))  # oldest entry = LRU
+            victim = target_set.pop(victim_tag)
             self.stats.evictions += 1
             if victim.dirty:
                 self.stats.writebacks += 1

@@ -26,6 +26,11 @@ from repro.cpu.trace import Trace, TraceCursor, TraceEntry
 # (e.g. the thread's MSHR quota is exhausted) and the core must retry.
 SendFunction = Callable[["Core", TraceEntry], bool]
 
+# Why the last tick stalled; lets the fast-forward catch-up replay the
+# per-cycle stall accounting the cycle engine would have performed.
+_STALL_WINDOW = "window"
+_STALL_REJECT = "reject"
+
 
 @dataclass(frozen=True)
 class CoreConfig:
@@ -78,6 +83,20 @@ class Core:
         self.outstanding_loads = 0
         self.finished = False
         self.finish_cycle: Optional[int] = None
+        # True when the last tick ended in a stall (full window or a
+        # rejected access).  While stalled the core cannot make progress on
+        # its own: only a data return or a memory-hierarchy state change —
+        # both of which the fast-forward engine simulates as events — can
+        # wake it, so stalled cores do not force per-cycle ticking.
+        self.stalled = False
+        # What kind of stall ended the last tick (None when it didn't);
+        # unlike ``stalled`` this is not cleared by data returns, so the
+        # next tick's catch-up can still attribute the skipped cycles.
+        self._stall_kind: Optional[str] = None
+        # Cycle of the last tick, used to replay skipped cycles (bubble
+        # retirement or stall re-attempts) exactly when the fast-forward
+        # engine jumps ahead.
+        self._last_tick_cycle = 0
 
     # ------------------------------------------------------------------ #
     def attach_send(self, send: SendFunction) -> None:
@@ -94,16 +113,6 @@ class Core:
         return self.stats.retired_instructions
 
     # ------------------------------------------------------------------ #
-    def _load_next_entry(self) -> bool:
-        if self._pending_entry is not None:
-            return True
-        entry = self.cursor.advance()
-        if entry is None:
-            return False
-        self._pending_entry = entry
-        self._bubbles_left = entry.bubble_count
-        return True
-
     def tick(self, cycle: int) -> int:
         """Issue up to ``issue_width`` instructions; return how many issued."""
 
@@ -111,51 +120,121 @@ class Core:
             raise RuntimeError("core has no send function attached")
         if self.finished:
             return 0
+        elapsed = cycle - self._last_tick_cycle
+        self._last_tick_cycle = cycle
+        if elapsed > 1:
+            # The fast-forward engine jumped over cycles it proved inert
+            # for the rest of the system; replay what this core did in each
+            # of them so its statistics match the cycle engine exactly.
+            skipped = elapsed - 1
+            if self._stall_kind is _STALL_WINDOW:
+                # Re-checked the full window and re-stalled every cycle
+                # (nothing that could unstall it happens between events).
+                self.stats.stall_cycles_window += skipped
+            elif self._stall_kind is _STALL_REJECT:
+                # Re-sent the access and was re-rejected every cycle.
+                self.stats.stall_cycles_reject += skipped
+            elif self._bubbles_left:
+                # Retired ``issue_width`` bubbles per skipped cycle
+                # (next_event_cycle() bounds the jump so that is always
+                # exactly what the cycle engine would have done).
+                catch_up = min(self._bubbles_left,
+                               skipped * self.config.issue_width)
+                self._bubbles_left -= catch_up
+                self.stats.retired_instructions += catch_up
+                self.stats.active_cycles += skipped
         issued = 0
         stalled = False
-        while issued < self.config.issue_width and not stalled:
-            if not self._load_next_entry():
-                # Trace exhausted (non-looping trace).
-                self.finished = True
-                self.finish_cycle = cycle
-                break
-            assert self._pending_entry is not None
-            assert self._bubbles_left is not None
+        stall_kind = None
+        stats = self.stats
+        width = self.config.issue_width
+        window = self.config.instruction_window
+        while issued < width and not stalled:
+            if self._pending_entry is None:
+                next_entry = self.cursor.advance()
+                if next_entry is None:
+                    # Trace exhausted (non-looping trace).
+                    self.finished = True
+                    self.finish_cycle = cycle
+                    break
+                self._pending_entry = next_entry
+                self._bubbles_left = next_entry.bubble_count
+            bubbles = self._bubbles_left
 
-            if self._bubbles_left > 0:
+            if bubbles:
                 # Retire as many non-memory instructions as the width allows.
-                retire = min(self._bubbles_left,
-                             self.config.issue_width - issued)
-                self._bubbles_left -= retire
-                self.stats.retired_instructions += retire
+                retire = bubbles if bubbles < width - issued \
+                    else width - issued
+                self._bubbles_left = bubbles - retire
+                stats.retired_instructions += retire
                 issued += retire
                 continue
 
             # The memory access at the head of the window.
-            if self.outstanding_loads >= self.config.instruction_window:
-                self.stats.stall_cycles_window += 1
+            if self.outstanding_loads >= window:
+                stats.stall_cycles_window += 1
                 stalled = True
+                stall_kind = _STALL_WINDOW
                 break
             entry = self._pending_entry
             accepted = self.send(self, entry)
             if not accepted:
-                self.stats.stall_cycles_reject += 1
+                stats.stall_cycles_reject += 1
                 stalled = True
+                stall_kind = _STALL_REJECT
                 break
             issued += 1
             if entry.is_write:
                 # Stores retire immediately (write buffer assumed).
-                self.stats.issued_stores += 1
-                self.stats.retired_instructions += 1
-                self.stats.retired_memory_accesses += 1
+                stats.issued_stores += 1
+                stats.retired_instructions += 1
+                stats.retired_memory_accesses += 1
             else:
-                self.stats.issued_loads += 1
+                stats.issued_loads += 1
                 self.outstanding_loads += 1
             self._pending_entry = None
             self._bubbles_left = None
+        self.stalled = stalled
+        self._stall_kind = stall_kind
         if issued:
             self.stats.active_cycles += 1
         return issued
+
+    # ------------------------------------------------------------------ #
+    @property
+    def runnable(self) -> bool:
+        """Whether the core can issue on its own on the next cycle."""
+
+        return not self.finished and not self.stalled
+
+    def next_event_cycle(self, cycle: int,
+                         instruction_limit: Optional[int] = None
+                         ) -> Optional[int]:
+        """Next cycle this core must be ticked, or ``None`` when waiting.
+
+        A stalled or finished core has no self-driven events.  A core in the
+        middle of a bubble (non-memory) run retires exactly ``issue_width``
+        instructions per cycle, so the next cycle at which it can interact
+        with the rest of the system — the tick that reaches its next memory
+        access — is computable, and the cycles before it may be skipped and
+        replayed in batch by :meth:`tick`.  ``instruction_limit`` caps the
+        jump so the tick on which the core crosses the limit is simulated
+        (the simulator's stop condition samples ``reached`` per tick).
+        """
+
+        if self.finished or self.stalled:
+            return None
+        bubbles = self._bubbles_left
+        if not bubbles:
+            return cycle + 1
+        width = self.config.issue_width
+        skippable = bubbles // width
+        if instruction_limit is not None:
+            remaining = instruction_limit - self.stats.retired_instructions
+            if remaining > 0:
+                crossing_ticks = (remaining + width - 1) // width
+                skippable = min(skippable, crossing_ticks - 1)
+        return cycle + 1 + max(0, skippable)
 
     # ------------------------------------------------------------------ #
     def on_data_returned(self, cycle: int) -> None:
@@ -166,6 +245,8 @@ class Core:
         self.outstanding_loads -= 1
         self.stats.retired_instructions += 1
         self.stats.retired_memory_accesses += 1
+        # A completed load frees window space and may unclog the hierarchy.
+        self.stalled = False
 
     # ------------------------------------------------------------------ #
     def reached(self, instruction_limit: int) -> bool:

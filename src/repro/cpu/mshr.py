@@ -11,6 +11,16 @@ The :class:`MshrFile` therefore distinguishes:
 * *primary miss* — needs a free MSHR **and** headroom in the thread's quota;
 * *secondary miss* — the line is already being fetched; always allowed and
   merged into the existing entry.
+
+Per-thread occupancy is tracked with maintained counters (incremented on
+primary allocation, decremented on release) so that :meth:`can_allocate` and
+:meth:`allocate` are O(1) instead of scanning every entry — the scan was the
+hottest line in attack workloads that keep the pool full.
+
+Non-cacheable accesses (``clflush``-style attacker traffic) carry an explicit
+:attr:`MshrEntry.uncached` flag.  A cached access that merges into an
+uncached entry clears the flag, so the eventual fill *is* installed in the
+LLC — exactly one requester asking for a cacheable copy is enough.
 """
 
 from __future__ import annotations
@@ -19,7 +29,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 
-@dataclass
+@dataclass(slots=True)
 class MshrEntry:
     """One outstanding LLC miss."""
 
@@ -28,6 +38,9 @@ class MshrEntry:
     allocated_cycle: int
     is_write: bool = False
     merged_accesses: int = 0
+    #: True while every access merged into this entry bypassed the cache;
+    #: the fill is only skipped when no cacheable requester is waiting.
+    uncached: bool = False
     waiters: List[object] = field(default_factory=list)
 
 
@@ -44,6 +57,10 @@ class MshrFile:
         # Per-thread quota; defaults to the full pool (no throttling).
         self._quota: Dict[int, int] = {
             thread: total_entries for thread in range(num_threads)
+        }
+        # Maintained per-thread occupancy so quota checks are O(1).
+        self._outstanding: Dict[int, int] = {
+            thread: 0 for thread in range(num_threads)
         }
         self.stats_allocations = 0
         self.stats_merges = 0
@@ -82,9 +99,7 @@ class MshrFile:
     def outstanding_for(self, thread_id: Optional[int]) -> int:
         if thread_id is None:
             return 0
-        return sum(
-            1 for entry in self._entries.values() if entry.thread_id == thread_id
-        )
+        return self._outstanding.get(thread_id, 0)
 
     def lookup(self, line_address: int) -> Optional[MshrEntry]:
         return self._entries.get(line_address)
@@ -102,19 +117,25 @@ class MshrFile:
         return self.outstanding_for(thread_id) < self.quota_for(thread_id)
 
     def allocate(self, line_address: int, thread_id: Optional[int],
-                 cycle: int, is_write: bool = False) -> Optional[MshrEntry]:
+                 cycle: int, is_write: bool = False,
+                 uncached: bool = False) -> Optional[MshrEntry]:
         """Allocate an MSHR for a primary miss, or merge a secondary miss.
 
         Returns the entry on success (new or merged).  Returns ``None`` if
         the miss is primary and either the pool is full or the thread's quota
         is exhausted — the caller must retry later (this is how throttling
         slows a suspect thread down).
+
+        ``uncached`` marks accesses that bypass the LLC.  A merged entry
+        stays uncached only while *all* of its accesses are uncached; one
+        cacheable requester is enough to make the fill install the line.
         """
 
         existing = self._entries.get(line_address)
         if existing is not None:
             existing.merged_accesses += 1
             existing.is_write = existing.is_write or is_write
+            existing.uncached = existing.uncached and uncached
             self.stats_merges += 1
             return existing
 
@@ -132,8 +153,13 @@ class MshrFile:
             thread_id=thread_id,
             allocated_cycle=cycle,
             is_write=is_write,
+            uncached=uncached,
         )
         self._entries[line_address] = entry
+        if thread_id is not None:
+            self._outstanding[thread_id] = (
+                self._outstanding.get(thread_id, 0) + 1
+            )
         self.stats_allocations += 1
         self.peak_occupancy = max(self.peak_occupancy, len(self._entries))
         return entry
@@ -141,7 +167,12 @@ class MshrFile:
     def release(self, line_address: int) -> Optional[MshrEntry]:
         """Free the MSHR for ``line_address`` (when the fill returns)."""
 
-        return self._entries.pop(line_address, None)
+        entry = self._entries.pop(line_address, None)
+        if entry is not None and entry.thread_id is not None:
+            self._outstanding[entry.thread_id] = (
+                self._outstanding.get(entry.thread_id, 1) - 1
+            )
+        return entry
 
     # ------------------------------------------------------------------ #
     def snapshot(self) -> Dict[str, object]:

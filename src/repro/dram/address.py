@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from functools import cached_property
 
 from repro.dram.config import DeviceConfig
 
@@ -36,13 +37,16 @@ class DramAddress:
     row: int
     column: int
 
-    @property
+    # cached_property writes straight into __dict__, which a frozen
+    # dataclass permits; both keys sit on scheduler/mitigation hot paths
+    # where recomputing the tuple per access dominated the profile.
+    @cached_property
     def bank_key(self) -> tuple:
         """Hashable identity of the bank this address maps to."""
 
         return (self.channel, self.rank, self.bank_group, self.bank)
 
-    @property
+    @cached_property
     def row_key(self) -> tuple:
         """Hashable identity of the row this address maps to."""
 
@@ -66,17 +70,35 @@ class AddressMapper:
         # Number of consecutive cachelines kept in the same row before
         # switching banks (MOP parameter).
         self.mop_lines = max(1, mop_lines)
+        # Decoded-coordinate memo, keyed by cacheline (every byte address
+        # in a line shares one immutable DramAddress): traces loop over a
+        # bounded footprint, so the controller decodes the same lines over
+        # and over.  Bounded so a streaming workload with an enormous
+        # footprint degrades to plain decoding instead of unbounded memory.
+        self._decode_cache: dict = {}
+
+    #: Decoded lines retained before the memo resets (~tens of MB worst
+    #: case); far above any current trace footprint.
+    DECODE_CACHE_LIMIT = 1 << 20
 
     # ------------------------------------------------------------------ #
     def map(self, address: int) -> DramAddress:
         """Decode a byte address into a DRAM coordinate."""
 
         line = address // self.config.cacheline_bytes
+        cached = self._decode_cache.get(line)
+        if cached is not None:
+            return cached
         if self.scheme is MappingScheme.MOP:
-            return self._map_mop(line)
-        if self.scheme is MappingScheme.ROW_INTERLEAVED:
-            return self._map_row_interleaved(line)
-        return self._map_bank_interleaved(line)
+            coordinate = self._map_mop(line)
+        elif self.scheme is MappingScheme.ROW_INTERLEAVED:
+            coordinate = self._map_row_interleaved(line)
+        else:
+            coordinate = self._map_bank_interleaved(line)
+        if len(self._decode_cache) >= self.DECODE_CACHE_LIMIT:
+            self._decode_cache.clear()
+        self._decode_cache[line] = coordinate
+        return coordinate
 
     def reverse(self, coordinate: DramAddress) -> int:
         """Re-encode a coordinate into a representative byte address.

@@ -124,19 +124,7 @@ class Bank:
                 f"bank timing violation: {command.kind} at cycle {cycle} "
                 f"(state={self.state}, blocked_until={self._blocked_until})"
             )
-
-        handler = {
-            CommandType.ACT: self._issue_act,
-            CommandType.PRE: self._issue_pre,
-            CommandType.PREA: self._issue_pre,
-            CommandType.RD: self._issue_read,
-            CommandType.WR: self._issue_write,
-            CommandType.REF: self._issue_refresh,
-            CommandType.VRR: self._issue_victim_refresh,
-            CommandType.RFM: self._issue_rfm,
-            CommandType.MIG: self._issue_migration,
-        }[command.kind]
-        return handler(command, cycle)
+        return self._HANDLERS[command.kind](self, command, cycle)
 
     # -- row commands --------------------------------------------------- #
     def _issue_act(self, command: Command, cycle: int) -> int:
@@ -207,6 +195,20 @@ class Bank:
         # A migration copies a row: model it as an ACT + column traffic + PRE
         # on both source and destination, i.e. roughly two row cycles.
         return self._block(cycle, 2 * self.timing.trc + self.timing.tvrr)
+
+    # Per-kind dispatch, resolved once at class-definition time (a literal
+    # dict built per issue() call showed up in the profile).
+    _HANDLERS = {
+        CommandType.ACT: _issue_act,
+        CommandType.PRE: _issue_pre,
+        CommandType.PREA: _issue_pre,
+        CommandType.RD: _issue_read,
+        CommandType.WR: _issue_write,
+        CommandType.REF: _issue_refresh,
+        CommandType.VRR: _issue_victim_refresh,
+        CommandType.RFM: _issue_rfm,
+        CommandType.MIG: _issue_migration,
+    }
 
     # ------------------------------------------------------------------ #
     # Introspection helpers

@@ -36,24 +36,17 @@ class CommandType(enum.Enum):
     RFM = "RFM"  # DDR5 refresh management command
     MIG = "MIG"  # row migration step (AQUA quarantine)
 
-    @property
-    def is_row_command(self) -> bool:
-        return self in (CommandType.ACT, CommandType.PRE, CommandType.PREA)
 
-    @property
-    def is_column_command(self) -> bool:
-        return self in (CommandType.RD, CommandType.WR)
-
-    @property
-    def is_maintenance(self) -> bool:
-        """Commands that exist to preserve data integrity, not to serve data."""
-
-        return self in (
-            CommandType.REF,
-            CommandType.VRR,
-            CommandType.RFM,
-            CommandType.MIG,
-        )
+# Category flags are assigned once as plain member attributes rather than
+# properties: the controller and device models read them on every readiness
+# probe, where the former tuple-membership properties dominated the profile.
+# ``is_row_command``: ACT/PRE/PREA; ``is_column_command``: RD/WR;
+# ``is_maintenance``: commands that preserve data integrity, not serve data.
+for _member in CommandType:
+    _member.is_row_command = _member.name in ("ACT", "PRE", "PREA")
+    _member.is_column_command = _member.name in ("RD", "WR")
+    _member.is_maintenance = _member.name in ("REF", "VRR", "RFM", "MIG")
+del _member
 
 
 @dataclass

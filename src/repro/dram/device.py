@@ -69,23 +69,59 @@ class Rank:
     def ready(self, command: Command, cycle: int) -> bool:
         """Check rank-level and bank-level constraints for ``command``."""
 
-        if cycle < self._blocked_until and command.kind is not CommandType.REF:
+        return self.kind_ready(command.kind, command.bank_group, command.bank,
+                               cycle)
+
+    def kind_ready(self, kind: CommandType, bank_group: int, bank: int,
+                   cycle: int) -> bool:
+        """The single implementation of the rank+bank readiness rules.
+
+        Taking coordinates instead of a :class:`Command` lets the
+        controller's hot path probe readiness without building a command
+        object; :meth:`ready` is a thin wrapper.
+        """
+
+        if cycle < self._blocked_until and kind is not CommandType.REF:
             return False
-        bank = self.bank(command.bank_group, command.bank)
-        if command.kind is CommandType.ACT:
-            if self._act_allowed_cycle(command.bank_group, cycle) > cycle:
+        if kind is CommandType.ACT:
+            if self._act_allowed_cycle(bank_group, cycle) > cycle:
                 return False
-        if command.kind is CommandType.REF:
+        if kind is CommandType.REF:
             # All banks must be precharged and idle.
             return all(
                 b.ready(CommandType.REF, cycle) for b in self.iter_banks()
             )
-        if command.kind is CommandType.PREA:
+        if kind is CommandType.PREA:
             return all(
                 b.ready(CommandType.PRE, cycle) or not b.is_open()
                 for b in self.iter_banks()
             )
-        return bank.ready(command.kind, cycle)
+        return self.banks[bank_group][bank].ready(kind, cycle)
+
+    def kind_earliest_ready_cycle(self, kind: CommandType, bank_group: int,
+                                  bank: int, cycle: int) -> int:
+        """Earliest cycle ``kind`` can satisfy rank+bank *timing* limits.
+
+        Purely a timing estimate: state conditions (a bank that must first be
+        precharged, say) are the caller's responsibility.  Used by the
+        fast-forward engine to bound how far the simulation may jump while
+        the channel is timing-blocked.
+        """
+
+        if kind is CommandType.REF:
+            return max(
+                b.earliest_ready_cycle(CommandType.REF, cycle)
+                for b in self.iter_banks()
+            )
+        earliest = max(
+            self.banks[bank_group][bank].earliest_ready_cycle(kind, cycle),
+            self._blocked_until,
+        )
+        if kind is CommandType.ACT:
+            earliest = max(
+                earliest, self._act_allowed_cycle(bank_group, cycle)
+            )
+        return earliest
 
     def issue(self, command: Command, cycle: int) -> int:
         """Issue ``command`` and return its completion cycle."""
@@ -172,9 +208,40 @@ class Channel:
 
     # ------------------------------------------------------------------ #
     def ready(self, command: Command, cycle: int) -> bool:
-        if command.kind.is_column_command and cycle < self._data_bus_free_at:
+        return self.kind_ready(command.kind, command.rank, command.bank_group,
+                               command.bank, cycle)
+
+    # ------------------------------------------------------------------ #
+    # Command-free hot-path variants.  The controller probes readiness for
+    # many candidate requests per cycle; these avoid building a Command
+    # object for probes that fail, and delegate to the rank so the timing
+    # rules have exactly one implementation per level.
+    # ------------------------------------------------------------------ #
+    def kind_ready(self, kind: CommandType, rank_index: int, bank_group: int,
+                   bank: int, cycle: int) -> bool:
+        """Equivalent of :meth:`ready` from a command's coordinates."""
+
+        if kind.is_column_command and cycle < self._data_bus_free_at:
             return False
-        return self.ranks[command.rank].ready(command, cycle)
+        return self.ranks[rank_index].kind_ready(kind, bank_group, bank,
+                                                 cycle)
+
+    def kind_earliest_ready_cycle(self, kind: CommandType, rank_index: int,
+                                  bank_group: int, bank: int,
+                                  cycle: int) -> int:
+        """Earliest cycle ``kind`` can satisfy channel-wide timing limits.
+
+        Composes the rank/bank estimate with data-bus occupancy; purely a
+        timing estimate — state conditions (open rows) are the caller's
+        responsibility.
+        """
+
+        earliest = self.ranks[rank_index].kind_earliest_ready_cycle(
+            kind, bank_group, bank, cycle
+        )
+        if kind.is_column_command:
+            earliest = max(earliest, self._data_bus_free_at)
+        return earliest
 
     def issue(self, command: Command, cycle: int) -> int:
         if not self.ready(command, cycle):

@@ -109,6 +109,16 @@ class MitigationMechanism(abc.ABC):
 
         return []
 
+    def next_event_cycle(self, cycle: int) -> Optional[int]:
+        """Next cycle at which :meth:`tick` has time-driven work, or ``None``.
+
+        The fast-forward simulation engine uses this to know it must not
+        jump past a mechanism's internal deadline (e.g. a counter-window
+        switch).  Mechanisms without time-driven state return ``None``.
+        """
+
+        return None
+
     def on_refresh_window(self, cycle: int) -> None:
         """Called once per refresh window (tREFW); resets windowed state."""
 

@@ -91,12 +91,15 @@ class BlockHammer(MitigationMechanism):
         return []
 
     def tick(self, cycle: int) -> List[PreventiveAction]:
-        if cycle >= self._next_window_switch:
+        while cycle >= self._next_window_switch:
             self._next_window_switch += self.window_cycles // 2
             # The older window's counters expire; the shadow becomes active.
             self._counts_active = self._counts_shadow
             self._counts_shadow = {}
         return []
+
+    def next_event_cycle(self, cycle: int) -> int:
+        return self._next_window_switch
 
     def on_refresh_window(self, cycle: int) -> None:
         # Periodic refresh clears the last-activation history (victims are

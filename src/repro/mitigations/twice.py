@@ -88,10 +88,13 @@ class TwiCe(MitigationMechanism):
         return []
 
     def tick(self, cycle: int) -> List[PreventiveAction]:
-        if cycle >= self._next_checkpoint:
+        while cycle >= self._next_checkpoint:
             self._next_checkpoint += self.checkpoint_interval
             self._prune()
         return []
+
+    def next_event_cycle(self, cycle: int) -> int:
+        return self._next_checkpoint
 
     def _prune(self) -> None:
         for table in self._tables.values():

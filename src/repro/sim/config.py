@@ -33,20 +33,50 @@ from repro.dram.address import MappingScheme
 from repro.dram.config import DeviceConfig
 
 
+#: Valid values of :attr:`SimulationConfig.engine`.
+SIMULATION_ENGINES = ("cycle", "fast")
+
+
 @dataclass(frozen=True)
 class SimulationConfig:
-    """Bounds and termination conditions of one simulation run."""
+    """Bounds and termination conditions of one simulation run.
+
+    ``engine`` selects the simulation driver:
+
+    * ``"cycle"`` (default) — tick every cycle, the reference behaviour;
+    * ``"fast"``  — event-driven fast-forward: the simulator jumps straight
+      to the next cycle at which any component can act (a DRAM command
+      becoming timing-ready, an in-flight request completing, a refresh
+      deadline, a throttling-window boundary, a runnable core).  Both
+      engines produce identical :class:`repro.sim.stats.RunStatistics`;
+      the fast engine simply skips the cycles in which nothing can happen.
+
+    ``warmup_cycles`` excludes the first cycles from every reported
+    *performance* statistic: core, LLC, controller, latency, and energy
+    counters are snapshotted at the warmup boundary and subtracted, so
+    IPC, MPKI and friends describe only the measured interval.  Mechanism
+    diagnostics (``mitigation_stats``, ``breakhammer_stats``,
+    ``mshr_stats``) remain whole-run values by design.
+    """
 
     max_cycles: int = 60_000
     instruction_limit: Optional[int] = None
     warmup_cycles: int = 0
     stop_when_benign_done: bool = True
+    engine: str = "cycle"
 
     def __post_init__(self) -> None:
         if self.max_cycles <= 0:
             raise ValueError("max_cycles must be positive")
         if self.instruction_limit is not None and self.instruction_limit <= 0:
             raise ValueError("instruction_limit must be positive")
+        if self.warmup_cycles < 0:
+            raise ValueError("warmup_cycles cannot be negative")
+        if self.engine not in SIMULATION_ENGINES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; expected one of "
+                f"{SIMULATION_ENGINES}"
+            )
 
     @classmethod
     def fast(cls, max_cycles: int = 30_000) -> "SimulationConfig":

@@ -10,6 +10,14 @@ them, and exposes the per-cycle :meth:`tick` the simulator drives:
   trigger algorithm, and performs its preventive actions;
 * BreakHammer observes activations and preventive actions from the
   controller and adjusts MSHR quotas.
+
+For the fast-forward engine the system also answers :meth:`next_event_cycle`
+— the earliest future cycle at which *anything* observable can happen (a
+DRAM command clearing its timing constraints, an in-flight request
+completing, a pending LLC hit returning, a core reaching its next memory
+access, a refresh or throttling-window deadline).  ``Simulator`` with
+``engine="fast"`` jumps straight between those cycles; every jumped-over
+cycle is provably inert, so both engines produce identical statistics.
 """
 
 from __future__ import annotations
@@ -87,12 +95,28 @@ class System:
             for i, trace in enumerate(traces)
         ]
 
+        # Precomputed per-start-index core orderings for the tick rotation.
+        count = len(self.cores)
+        self._rotations: List[Tuple[Core, ...]] = [
+            tuple(self.cores[(start + offset) % count]
+                  for offset in range(count))
+            for start in range(count)
+        ]
+
         # LLC hits waiting to return data: (ready_cycle, core).
         self._pending_hits: List[Tuple[int, Core]] = []
         self.cycle = 0
-        # Rotating start index so no core gets structural priority over
-        # shared resources (MSHRs, queue slots) just by tick order.
-        self._core_rotation = 0
+        # Whether any core enqueued a memory request during the last tick.
+        # Enqueues mutate controller state *after* the controller's phase of
+        # the tick, so the controller must be ticked again on the very next
+        # cycle; consumed by next_event_cycle().  LLC-hit sends and MSHR
+        # merges do not touch the controller and so do not set this — their
+        # observable futures (data returns, fills) are tracked as events.
+        self._enqueued_this_tick = True
+        # Stop-condition tracking for the fast engine: cores whose
+        # instruction-limit crossing must land on a simulated tick.
+        self._instruction_limit: Optional[int] = None
+        self._limit_tracked_cores: frozenset = frozenset()
 
     # ------------------------------------------------------------------ #
     # Core → memory path
@@ -105,9 +129,9 @@ class System:
         thread_id = core.thread_id
         if entry.bypass_cache:
             return self._send_uncached(core, address, is_write, thread_id)
-        if self.llc.probe(address):
-            result = self.llc.access(address, is_write=is_write,
-                                     thread_id=thread_id)
+        result = self.llc.access_if_resident(address, is_write=is_write,
+                                             thread_id=thread_id)
+        if result is not None:
             if not is_write:
                 self._pending_hits.append(
                     (self.cycle + result.latency, core)
@@ -137,6 +161,7 @@ class System:
                 thread_id=thread_id,
                 arrival_cycle=self.cycle,
             )
+            self._enqueued_this_tick = True
             return self.controller.enqueue(request)
 
         # Primary load miss: needs an MSHR (gated by BreakHammer's per-thread
@@ -162,6 +187,7 @@ class System:
         if not accepted:  # pragma: no cover - guarded by can_accept above
             self.mshrs.release(line_address)
             return False
+        self._enqueued_this_tick = True
         return True
 
     def _send_uncached(self, core: Core, address: int, is_write: bool,
@@ -177,6 +203,7 @@ class System:
         if is_write:
             if not self.controller.can_accept(RequestType.WRITE):
                 return False
+            self._enqueued_this_tick = True
             return self.controller.enqueue(MemoryRequest(
                 address=line_address,
                 kind=RequestType.WRITE,
@@ -185,17 +212,18 @@ class System:
             ))
         existing = self.mshrs.lookup(line_address)
         if existing is not None:
-            self.mshrs.allocate(line_address, thread_id, self.cycle, False)
+            self.mshrs.allocate(line_address, thread_id, self.cycle, False,
+                                uncached=True)
             existing.waiters.append(core)
             return True
         if not self.mshrs.can_allocate(thread_id):
             return False
         if not self.controller.can_accept(RequestType.READ):
             return False
-        entry = self.mshrs.allocate(line_address, thread_id, self.cycle, False)
+        entry = self.mshrs.allocate(line_address, thread_id, self.cycle, False,
+                                    uncached=True)
         assert entry is not None
         entry.waiters.append(core)
-        entry.merged_accesses = -1  # sentinel: do not install in the LLC
         request = MemoryRequest(
             address=line_address,
             kind=RequestType.READ,
@@ -208,13 +236,21 @@ class System:
         if not accepted:  # pragma: no cover - guarded by can_accept above
             self.mshrs.release(line_address)
             return False
+        self._enqueued_this_tick = True
         return True
 
     def _on_memory_response(self, request: MemoryRequest, cycle: int) -> None:
         """Fill the LLC, release the MSHR, and wake waiting cores."""
 
         entry = self.mshrs.release(request.address)
-        if request.metadata.get("uncached"):
+        # The entry's flag — not the request metadata — decides whether to
+        # install the line: a cacheable load that merged into an uncached
+        # fetch clears the flag, so its data does land in the LLC.
+        uncached = (
+            entry.uncached if entry is not None
+            else bool(request.metadata.get("uncached"))
+        )
+        if uncached:
             if entry is not None:
                 for core in entry.waiters:
                     core.on_data_returned(cycle)
@@ -243,15 +279,19 @@ class System:
     # ------------------------------------------------------------------ #
     def tick(self, cycle: int) -> None:
         self.cycle = cycle
+        self._enqueued_this_tick = False
         if self.breakhammer is not None:
             self.breakhammer.tick(cycle)
         self.controller.tick(cycle)
-        self._return_llc_hits(cycle)
-        count = len(self.cores)
-        start = self._core_rotation
-        for offset in range(count):
-            self.cores[(start + offset) % count].tick(cycle)
-        self._core_rotation = (start + 1) % count
+        if self._pending_hits:
+            self._return_llc_hits(cycle)
+        # The start index rotates with the cycle number so no core gets
+        # structural priority over shared resources (MSHRs, queue slots)
+        # just by tick order.  Deriving it from the cycle — rather than from
+        # a tick counter — keeps the cycle and fast-forward engines on the
+        # same arbitration sequence.
+        for core in self._rotations[(cycle - 1) % len(self.cores)]:
+            core.tick(cycle)
 
     def _return_llc_hits(self, cycle: int) -> None:
         if not self._pending_hits:
@@ -263,6 +303,70 @@ class System:
             else:
                 still_pending.append((ready_cycle, core))
         self._pending_hits = still_pending
+
+    # ------------------------------------------------------------------ #
+    # Fast-forward support
+    # ------------------------------------------------------------------ #
+    def track_instruction_limit(self, limit: Optional[int],
+                                core_ids: Sequence[int]) -> None:
+        """Tell the fast engine which cores' limit crossings are stop events.
+
+        The simulator samples its stop condition once per simulated tick, so
+        each tracked core's ``next_event_cycle`` caps its bubble-batch jump
+        at the tick on which it crosses ``limit`` — keeping the fast
+        engine's stop cycle identical to the cycle engine's.
+        """
+
+        self._instruction_limit = limit
+        self._limit_tracked_cores = frozenset(core_ids)
+
+    def next_event_cycle(self) -> int:
+        """The next cycle :meth:`tick` must simulate to stay cycle-accurate.
+
+        Returns ``cycle + 1`` whenever a core enqueued a memory request
+        during the last tick (the controller must react next cycle);
+        otherwise the
+        earliest of the controller's next event, each core's next
+        self-driven tick (bubble runs are batched), the next pending
+        LLC-hit data return, and BreakHammer's next window boundary.  The
+        engine may safely jump straight to the returned cycle: nothing
+        observable can happen in between.
+        """
+
+        cycle = self.cycle
+        next_cycle = cycle + 1
+        if self._enqueued_this_tick:
+            return next_cycle
+        earliest: Optional[int] = None
+        controller_event = self.controller.next_event_cycle()
+        if controller_event is not None:
+            if controller_event <= next_cycle:
+                return next_cycle
+            earliest = controller_event
+        limit = self._instruction_limit
+        tracked = self._limit_tracked_cores
+        for core in self.cores:
+            core_event = core.next_event_cycle(
+                cycle, limit if core.core_id in tracked else None
+            )
+            if core_event is not None:
+                if core_event <= next_cycle:
+                    return next_cycle
+                if earliest is None or core_event < earliest:
+                    earliest = core_event
+        if self._pending_hits:
+            hit_event = min(ready for ready, _ in self._pending_hits)
+            if hit_event <= next_cycle:
+                return next_cycle
+            if earliest is None or hit_event < earliest:
+                earliest = hit_event
+        if self.breakhammer is not None:
+            window_event = self.breakhammer.next_event_cycle()
+            if earliest is None or window_event < earliest:
+                earliest = window_event
+        if earliest is None or earliest < next_cycle:
+            return next_cycle
+        return earliest
 
     # ------------------------------------------------------------------ #
     # Introspection

@@ -1,0 +1,146 @@
+"""Cycle-engine vs fast-forward-engine equivalence.
+
+The fast engine (``SimulationConfig(engine="fast")``) must be an *exact*
+accelerator: it may skip cycles it can prove inert, but every
+:class:`repro.sim.stats.RunStatistics` field — per-thread IPCs, latency
+lists, activation counts, energy, BreakHammer counters — must come out
+bit-for-bit identical to the reference cycle engine.  These tests pin that
+contract on a benign mix, on a hammering-attacker mix, and under an
+instruction-limit stop condition, and also check the fast engine actually
+fast-forwards where there is slack.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.sim.config import SimulationConfig, SystemConfig
+from repro.sim.simulator import Simulator
+from repro.workloads.attacker import AttackerConfig
+from repro.workloads.mixes import make_mix
+
+SIM_CYCLES = 6_000
+
+
+def _mix(name: str, config: SystemConfig):
+    return make_mix(
+        name,
+        device=config.device,
+        mapping=config.mapping,
+        entries_per_core=2_000,
+        attacker_entries=3_000,
+        seed=0,
+        attacker_config=AttackerConfig(entries=3_000, seed=0),
+    )
+
+
+def _run(engine: str, mix_name: str, mechanism: str, breakhammer: bool,
+         instruction_limit=None, warmup_cycles=0):
+    config = SystemConfig.fast_profile(
+        mitigation=mechanism,
+        nrh=64,
+        breakhammer_enabled=breakhammer,
+        sim_cycles=SIM_CYCLES,
+    )
+    mix = _mix(mix_name, config)
+    simulator = Simulator(
+        config,
+        mix.traces,
+        SimulationConfig(max_cycles=SIM_CYCLES, engine=engine,
+                         instruction_limit=instruction_limit,
+                         warmup_cycles=warmup_cycles),
+        attacker_threads=mix.attacker_threads,
+    )
+    result = simulator.run()
+    return result, simulator
+
+
+def _assert_identical(mix_name: str, mechanism: str, breakhammer: bool,
+                      instruction_limit=None, warmup_cycles=0):
+    cycle_result, _ = _run("cycle", mix_name, mechanism, breakhammer,
+                           instruction_limit, warmup_cycles)
+    fast_result, fast_sim = _run("fast", mix_name, mechanism, breakhammer,
+                                 instruction_limit, warmup_cycles)
+    assert dataclasses.asdict(cycle_result.stats) == \
+        dataclasses.asdict(fast_result.stats)
+    assert cycle_result.finished_by_instruction_limit == \
+        fast_result.finished_by_instruction_limit
+    # Per-core introspection (including stall-cycle counters, which the
+    # fast engine replays for the cycles it skips) must match too.
+    cycle_cores = [core.snapshot() for core in cycle_result.system.cores]
+    fast_cores = [core.snapshot() for core in fast_result.system.cores]
+    assert cycle_cores == fast_cores
+    return cycle_result, fast_result, fast_sim
+
+
+class TestEngineEquivalence:
+    def test_benign_mix(self):
+        _assert_identical("MMLL", "graphene", False)
+
+    def test_hammering_attacker_mix(self):
+        _assert_identical("HHMA", "graphene", True)
+
+    def test_attacker_mix_with_rfm(self):
+        _assert_identical("MMLA", "rfm", True)
+
+    def test_warmup_boundary_is_simulated_exactly(self):
+        """The fast engine must land on (not jump over) the warmup cycle."""
+
+        _assert_identical("HHMA", "para", True,
+                          warmup_cycles=SIM_CYCLES // 3)
+
+    def test_instruction_limit_stop(self):
+        cycle_result, fast_result, _ = _assert_identical(
+            "MMLL", "none", False, instruction_limit=2_000
+        )
+        assert cycle_result.finished_by_instruction_limit
+        assert cycle_result.stats.cycles == fast_result.stats.cycles
+
+    def test_fast_engine_skips_idle_cycles(self):
+        """A single low-intensity core leaves slack the engine must use."""
+
+        config = SystemConfig.fast_profile(sim_cycles=SIM_CYCLES).with_(
+            num_cores=1
+        )
+        mix = _mix("MMLL", config)
+        low_intensity_trace = mix.traces[-1]  # an L workload
+        results = {}
+        for engine in ("cycle", "fast"):
+            simulator = Simulator(
+                config, [low_intensity_trace],
+                SimulationConfig(max_cycles=SIM_CYCLES, engine=engine),
+            )
+            results[engine] = (simulator.run(), simulator)
+        cycle_stats = results["cycle"][0].stats
+        fast_stats = results["fast"][0].stats
+        assert dataclasses.asdict(cycle_stats) == dataclasses.asdict(fast_stats)
+        # The cycle engine ticks every cycle; the fast engine must have
+        # jumped over a substantial fraction of them.
+        assert results["cycle"][1].ticks_executed == cycle_stats.cycles
+        assert results["fast"][1].ticks_executed < 0.8 * cycle_stats.cycles
+
+    def test_smoke_both_engines_end_to_end(self):
+        """Tier-1 smoke: one tiny run per engine, statistics identical."""
+
+        config = SystemConfig.fast_profile(
+            mitigation="para", nrh=1024, sim_cycles=1_500
+        )
+        mix = _mix("MMLA", config)
+        stats = {}
+        for engine in ("cycle", "fast"):
+            simulator = Simulator(
+                config, mix.traces,
+                SimulationConfig(max_cycles=1_500, engine=engine),
+                attacker_threads=mix.attacker_threads,
+            )
+            stats[engine] = simulator.run().stats
+        assert dataclasses.asdict(stats["cycle"]) == \
+            dataclasses.asdict(stats["fast"])
+        assert stats["cycle"].cycles == 1_500
+
+
+def test_unknown_engine_rejected():
+    with pytest.raises(ValueError):
+        SimulationConfig(engine="warp")
