@@ -1,0 +1,74 @@
+"""Wall-clock scaling of the parallel sweep executor.
+
+Runs the same fig. 6/8-style (mix, mechanism, N_RH, BreakHammer) grid with
+1, 2, and 4 worker processes — a **fresh runner with cold caches per
+measurement**, so each timing covers the full grid execution.  On a
+multi-core host the recorded wall-clock time shrinks as the worker count
+grows (the grid is embarrassingly parallel; PR-level speedup is bounded by
+the slowest single run and by pool start-up); on a single-core host the
+timings degrade gracefully to roughly serial cost plus pool overhead.
+
+Parallel results are bit-identical to serial ones — asserted here on the
+figure aggregates, and in detail by ``tests/test_sweep_executor.py``.
+
+Worker counts can be overridden via ``REPRO_SCALING_JOBS`` (comma-separated
+list, default ``1,2,4``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+
+import pytest
+
+from repro.analysis.experiments import ExperimentRunner, HarnessConfig
+
+from conftest import run_once
+
+#: The swept grid: one attack mix, three mechanisms, two thresholds —
+#: 12 simulation grid points + the no-mitigation baseline + standalone-IPC
+#: baselines, exactly the shape behind Figs. 6 and 8.
+_SCALING_PROFILE = HarnessConfig(
+    sim_cycles=4_000,
+    entries_per_core=1_500,
+    attacker_entries=2_000,
+    nrh_sweep=(1024, 64),
+    attack_mixes=("MMLA",),
+    benign_mixes=("MMLL",),
+    mechanisms=("para", "graphene", "rfm"),
+    seeds=(0,),
+)
+
+
+def _job_counts():
+    raw = os.environ.get("REPRO_SCALING_JOBS", "1,2,4")
+    return [int(part) for part in raw.split(",") if part.strip()]
+
+
+#: Serial reference aggregates, computed once and compared against every
+#: parallel measurement (figure equality == bit-identical RunStatistics
+#: underneath, since every series value is derived from them).
+_REFERENCE = {}
+
+
+def _sweep(jobs: int):
+    # cache_dir="" force-disables the disk cache even when REPRO_CACHE_DIR
+    # is exported: every measurement must run the full grid cold.
+    config = dataclasses.replace(_SCALING_PROFILE, jobs=jobs, cache_dir="")
+    with ExperimentRunner(config) as runner:
+        fig6 = runner.figure6(nrh=64)
+        fig8 = runner.figure8()
+        return fig6, fig8, runner.runs_executed
+
+
+@pytest.mark.bench_smoke
+@pytest.mark.parametrize("jobs", _job_counts())
+def test_sweep_scaling(benchmark, jobs):
+    fig6, fig8, runs = run_once(benchmark, _sweep, jobs)
+    assert runs > 0
+    if not _REFERENCE:
+        _REFERENCE["fig6"], _REFERENCE["fig8"] = fig6.as_dict(), fig8.as_dict()
+    else:
+        assert fig6.as_dict() == _REFERENCE["fig6"]
+        assert fig8.as_dict() == _REFERENCE["fig8"]

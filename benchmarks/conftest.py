@@ -21,6 +21,23 @@ The simulation engine is controlled by ``REPRO_ENGINE``:
 Both engines produce identical statistics (asserted by
 ``tests/test_engine_equivalence.py``); the variable exists so regressions in
 either engine can be timed and bisected independently.
+
+Sweep execution is controlled by two more variables (see ROADMAP.md
+"Running sweeps"):
+
+* ``REPRO_JOBS`` — worker-process count for the parallel sweep executor
+  (default 1 = serial; parallel sweeps are bit-identical to serial ones,
+  asserted by ``tests/test_sweep_executor.py``);
+* ``REPRO_CACHE_DIR`` — directory of the persistent on-disk run cache;
+  when set, grid points computed by an earlier invocation (or another
+  process) are loaded instead of re-simulated.  Entries are namespaced by
+  a configuration fingerprint, so changing profile/engine/scale can never
+  serve stale results.
+
+The ``bench_smoke`` marker tags the representative one-point-per-sweep
+checks (see ``tests/test_bench_smoke.py`` and ``bench_sweep_scaling.py``)
+that exercise the parallel path inside tier-1 time budgets:
+``pytest -m bench_smoke``.
 """
 
 from __future__ import annotations
@@ -41,6 +58,14 @@ from repro.analysis.report import render_figure, render_table  # noqa: E402
 from repro.sim.config import SIMULATION_ENGINES  # noqa: E402
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "bench_smoke: fast representative point of each figure sweep "
+        "(exercises the parallel sweep path in tier-1 time budgets)",
+    )
+
+
 def _profile() -> HarnessConfig:
     name = os.environ.get("REPRO_BENCH_PROFILE", "fast").lower()
     if name == "full":
@@ -54,12 +79,17 @@ def _profile() -> HarnessConfig:
         raise ValueError(
             f"REPRO_ENGINE={engine!r} is not one of {SIMULATION_ENGINES}"
         )
-    return dataclasses.replace(config, engine=engine)
+    # jobs=0 / cache_dir=None defer to REPRO_JOBS / REPRO_CACHE_DIR inside
+    # the runner; the explicit replace keeps the wiring visible here.
+    return dataclasses.replace(config, engine=engine, jobs=0, cache_dir=None)
 
 
 @pytest.fixture(scope="session")
 def runner() -> ExperimentRunner:
-    return ExperimentRunner(_profile())
+    instance = ExperimentRunner(_profile())
+    yield instance
+    # Shut the parallel executor's worker pool down with the session.
+    instance.close()
 
 
 _RESULTS_DIR = Path(__file__).resolve().parent / "results"

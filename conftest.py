@@ -12,3 +12,11 @@ from pathlib import Path
 _SRC = Path(__file__).resolve().parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "bench_smoke: fast representative point of each figure sweep "
+        "(exercises the parallel sweep path in tier-1 time budgets)",
+    )

@@ -1,6 +1,14 @@
 """Experiment harness and reporting utilities."""
 
+from repro.analysis.executor import (
+    ProcessPoolSweepExecutor,
+    RunTask,
+    SerialSweepExecutor,
+    SweepExecutor,
+    resolve_jobs,
+)
 from repro.analysis.experiments import ExperimentRunner, HarnessConfig
+from repro.analysis.runcache import RunCache
 from repro.analysis.figures import (
     ComparisonEntry,
     FigureData,
@@ -20,9 +28,15 @@ __all__ = [
     "FigureData",
     "FigureSeries",
     "HarnessConfig",
+    "ProcessPoolSweepExecutor",
+    "RunCache",
+    "RunTask",
+    "SerialSweepExecutor",
+    "SweepExecutor",
     "TableData",
     "figure_summary",
     "render_comparisons",
     "render_figure",
     "render_table",
+    "resolve_jobs",
 ]

@@ -1,0 +1,183 @@
+"""Pluggable sweep execution: serial and multi-process backends.
+
+The experiment harness drives every paper figure from the same
+embarrassingly parallel grid of (mix, mechanism, N_RH, BreakHammer)
+simulation runs.  :class:`SweepExecutor` abstracts *how* that grid is
+executed:
+
+* :class:`SerialSweepExecutor` — in-process, one run at a time; the
+  reference behaviour (and what workers themselves use);
+* :class:`ProcessPoolSweepExecutor` — shards tasks across a
+  ``concurrent.futures.ProcessPoolExecutor``.  Each worker process builds
+  its own :class:`~repro.analysis.experiments.ExperimentRunner` from the
+  pickled :class:`~repro.analysis.experiments.HarnessConfig` and
+  **regenerates traces deterministically from (config, seed)** — traces are
+  never shipped by value.  Only the picklable
+  :class:`~repro.sim.stats.RunStatistics` results travel back.
+
+Simulations are deterministic functions of their configuration, so a
+parallel sweep produces results bit-identical to a serial one
+(``tests/test_sweep_executor.py`` pins this contract).
+
+Worker count selection: ``HarnessConfig.jobs`` when positive, else the
+``REPRO_JOBS`` environment variable, else 1 (serial).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+#: Environment variable selecting the sweep worker count.
+JOBS_ENV = "REPRO_JOBS"
+
+#: Task kinds understood by the executors.
+TASK_RUN = "run"
+TASK_ALONE = "alone"
+
+
+@dataclass(frozen=True)
+class RunTask:
+    """One unit of sweep work, picklable and self-describing.
+
+    ``kind`` is ``"run"`` (one grid-point simulation, the result is a
+    :class:`RunStatistics`) or ``"alone"`` (the standalone-IPC baseline of
+    one trace of a mix, the result is an :class:`AloneResult`).
+    """
+
+    kind: str
+    mix_name: str
+    seed: int = 0
+    mechanism: str = "none"
+    nrh: int = 0
+    breakhammer: bool = False
+    trace_index: int = 0
+
+
+@dataclass(frozen=True)
+class AloneResult:
+    """The standalone-IPC baseline of one trace (picklable)."""
+
+    trace_name: str
+    trace_length: int
+    ipc: float
+
+
+def evaluate_task(runner, task: RunTask):
+    """Execute one task against ``runner`` (parent or worker side)."""
+
+    if task.kind == TASK_RUN:
+        return runner.run(task.mix_name, task.mechanism, task.nrh,
+                          task.breakhammer, seed=task.seed)
+    if task.kind == TASK_ALONE:
+        mix = runner.mix(task.mix_name, task.seed)
+        trace = mix.traces[task.trace_index]
+        return AloneResult(trace_name=trace.name, trace_length=len(trace),
+                           ipc=runner.alone_ipc(trace))
+    raise ValueError(f"unknown sweep task kind {task.kind!r}")
+
+
+def resolve_jobs(requested: int = 0) -> int:
+    """The effective worker count: explicit request, else $REPRO_JOBS, else 1."""
+
+    if requested and requested > 0:
+        return requested
+    env = os.environ.get(JOBS_ENV, "").strip()
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError as exc:
+            raise ValueError(
+                f"{JOBS_ENV}={env!r} is not an integer worker count"
+            ) from exc
+    return 1
+
+
+class SweepExecutor:
+    """Executes a batch of :class:`RunTask`, preserving task order."""
+
+    jobs: int = 1
+
+    def execute(self, tasks: Sequence[RunTask]) -> List[object]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any pooled resources (idempotent)."""
+
+
+class SerialSweepExecutor(SweepExecutor):
+    """Runs every task in-process through the owning runner."""
+
+    def __init__(self, runner) -> None:
+        self._runner = runner
+
+    def execute(self, tasks: Sequence[RunTask]) -> List[object]:
+        return [evaluate_task(self._runner, task) for task in tasks]
+
+
+# ---------------------------------------------------------------------- #
+# Worker-process side.  The initializer builds one ExperimentRunner per
+# process from the pickled harness config; mixes and standalone baselines
+# are memoised per worker, so a worker that receives several grid points of
+# the same mix regenerates its traces only once.
+# ---------------------------------------------------------------------- #
+_WORKER_RUNNER = None
+
+
+def _worker_init(harness_config) -> None:
+    global _WORKER_RUNNER
+    from repro.analysis.experiments import ExperimentRunner
+
+    _WORKER_RUNNER = ExperimentRunner(harness_config)
+
+
+def _worker_execute(task: RunTask):
+    if _WORKER_RUNNER is None:  # pragma: no cover - initializer always ran
+        raise RuntimeError("sweep worker used before initialisation")
+    return evaluate_task(_WORKER_RUNNER, task)
+
+
+class ProcessPoolSweepExecutor(SweepExecutor):
+    """Shards tasks across worker processes; results return in task order."""
+
+    def __init__(self, harness_config, jobs: int) -> None:
+        if jobs < 2:
+            raise ValueError("a process pool needs at least two workers")
+        # Workers run strictly serially (jobs=1): no nested pools.
+        self._worker_config = dataclasses.replace(harness_config, jobs=1)
+        self.jobs = jobs
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.jobs,
+                initializer=_worker_init,
+                initargs=(self._worker_config,),
+            )
+        return self._pool
+
+    def execute(self, tasks: Sequence[RunTask]) -> List[object]:
+        if not tasks:
+            return []
+        pool = self._ensure_pool()
+        # chunksize=1: grid points cost seconds each, so fine-grained
+        # dispatch load-balances better than chunking.
+        return list(pool.map(_worker_execute, tasks, chunksize=1))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+
+def make_executor(runner) -> SweepExecutor:
+    """Build the executor selected by ``runner.config`` / ``$REPRO_JOBS``."""
+
+    jobs = resolve_jobs(getattr(runner.config, "jobs", 0))
+    if jobs <= 1:
+        return SerialSweepExecutor(runner)
+    return ProcessPoolSweepExecutor(runner.config, jobs)

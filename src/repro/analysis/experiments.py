@@ -18,10 +18,21 @@ EXPERIMENTS.md for the paper-vs-measured record.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.analysis.executor import (
+    AloneResult,
+    RunTask,
+    SerialSweepExecutor,
+    SweepExecutor,
+    TASK_ALONE,
+    TASK_RUN,
+    make_executor,
+)
 from repro.analysis.figures import FigureData, TableData
+from repro.analysis.runcache import RunCache
 from repro.core.hardware_model import HardwareCostModel
 from repro.core.security import SecurityAnalysis
 from repro.cpu.trace import Trace
@@ -29,7 +40,11 @@ from repro.mitigations.registry import (
     MOTIVATION_MECHANISMS,
     PAIRED_MECHANISMS,
 )
-from repro.sim.config import SimulationConfig, SystemConfig
+from repro.sim.config import (
+    SimulationConfig,
+    SystemConfig,
+    config_fingerprint,
+)
 from repro.sim.metrics import geometric_mean, max_slowdown, weighted_speedup
 from repro.sim.simulator import SimulationResult, Simulator
 from repro.sim.stats import RunStatistics
@@ -56,6 +71,18 @@ class HarnessConfig:
     sweeps default to the event-driven ``"fast"`` engine — it produces
     statistics identical to the ``"cycle"`` engine while skipping the
     cycles in which nothing can happen, which multiplies sweep throughput.
+
+    ``jobs`` selects the sweep execution backend: values above 1 shard the
+    run grid across that many worker processes; 0 (the default) defers to
+    the ``REPRO_JOBS`` environment variable, falling back to serial.
+    Parallel sweeps produce results bit-identical to serial ones.
+
+    ``cache_dir`` points the persistent on-disk run cache at a directory:
+    ``None`` (default) defers to ``REPRO_CACHE_DIR``, an empty string
+    force-disables the cache even when that variable is exported, and
+    when neither names a directory the disk cache is off.  Neither knob
+    affects simulation *results*, so both are excluded from the cache
+    fingerprint.
     """
 
     sim_cycles: int = 25_000
@@ -71,11 +98,25 @@ class HarnessConfig:
     threat_threshold: float = 4.0
     outlier_threshold: float = 0.65
     engine: str = "fast"
+    jobs: int = 0
+    cache_dir: Optional[str] = None
 
     def simulation_config(self) -> SimulationConfig:
         """The per-run simulation bounds this harness profile implies."""
 
         return SimulationConfig(max_cycles=self.sim_cycles, engine=self.engine)
+
+    def result_fingerprint(self) -> str:
+        """Digest of every field that can affect simulation results.
+
+        Execution knobs (``jobs``, ``cache_dir``) are normalised out: a
+        sweep must hit the same disk-cache namespace no matter how it is
+        executed.
+        """
+
+        return config_fingerprint(
+            dataclasses.replace(self, jobs=0, cache_dir=None)
+        )
 
     @classmethod
     def fast(cls) -> "HarnessConfig":
@@ -108,23 +149,78 @@ class HarnessConfig:
         )
 
 
-RunKey = Tuple[str, int, str, int, bool]
+#: The grid coordinate of one run: (mix, seed, mechanism, nrh, breakhammer).
+GridPoint = Tuple[str, int, str, int, bool]
+
+#: The full memoisation key: the grid coordinate extended with the trace
+#: generation parameters and simulation bounds, so two distinct
+#: configurations can never alias one cache entry (in memory or on disk).
+RunKey = Tuple[str, int, str, int, bool, int, int, int, str]
+
+#: A (mix_name, mechanism, nrh, breakhammer) request, as the figure methods
+#: hand them to :meth:`ExperimentRunner.prefetch` (seed 0, like `run`).
+RunSpec = Tuple[str, str, int, bool]
 
 
 class ExperimentRunner:
-    """Runs and memoises the simulations behind every figure."""
+    """Runs and memoises the simulations behind every figure.
+
+    Three cache layers back :meth:`run`:
+
+    1. in-memory memoisation (``_run_cache``), as before;
+    2. an optional persistent on-disk :class:`RunCache`, keyed by the full
+       :data:`RunKey` under a configuration-fingerprint namespace, shared
+       across processes and invocations;
+    3. a pluggable :class:`SweepExecutor` that the figure methods use (via
+       :meth:`prefetch`) to compute the missing portion of their run grid —
+       serially, or sharded across worker processes when
+       ``HarnessConfig.jobs`` / ``REPRO_JOBS`` asks for more than one.
+    """
 
     def __init__(self, config: Optional[HarnessConfig] = None) -> None:
         self.config = config or HarnessConfig()
-        self._mix_cache: Dict[Tuple[str, int], WorkloadMix] = {}
+        self._mix_cache: Dict[Tuple[str, int, int, int], WorkloadMix] = {}
         self._run_cache: Dict[RunKey, RunStatistics] = {}
-        self._alone_ipc_cache: Dict[str, float] = {}
+        self._alone_ipc_cache: Dict[Tuple[str, int], float] = {}
         self._base_system = SystemConfig.fast_profile(
             sim_cycles=self.config.sim_cycles,
             threat_threshold=self.config.threat_threshold,
             outlier_threshold=self.config.outlier_threshold,
         )
+        self.fingerprint = config_fingerprint(
+            self.config.result_fingerprint(),
+            self._base_system,
+            self.config.simulation_config(),
+        )
+        self._disk_cache: Optional[RunCache] = RunCache.from_env(
+            self.fingerprint, cache_dir=self.config.cache_dir
+        )
+        self._executor: SweepExecutor = make_executor(self)
         self.runs_executed = 0
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def jobs(self) -> int:
+        """The effective sweep worker count (1 = serial)."""
+
+        return self._executor.jobs
+
+    @property
+    def disk_cache(self) -> Optional[RunCache]:
+        return self._disk_cache
+
+    def close(self) -> None:
+        """Shut down the sweep executor's worker pool, if any."""
+
+        self._executor.close()
+
+    def __enter__(self) -> "ExperimentRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ #
     # Building blocks
@@ -138,7 +234,10 @@ class ExperimentRunner:
         )
 
     def mix(self, name: str, seed: int = 0) -> WorkloadMix:
-        key = (name, seed)
+        # The trace sizes are part of the key: a runner reconfigured for a
+        # different scale must never alias another profile's traces.
+        key = (name, seed, self.config.entries_per_core,
+               self.config.attacker_entries)
         if key not in self._mix_cache:
             self._mix_cache[key] = make_mix(
                 name,
@@ -153,13 +252,47 @@ class ExperimentRunner:
             )
         return self._mix_cache[key]
 
+    def run_key(self, mix_name: str, mechanism: str, nrh: int,
+                breakhammer: bool, seed: int = 0) -> RunKey:
+        """The full memoisation key of one run.
+
+        Beyond the grid coordinate it pins the trace generation parameters
+        (entry counts; the seed is already a coordinate) and the simulation
+        bounds (cycle budget, engine), so distinct configurations cannot
+        alias — in particular in the on-disk cache, which outlives any one
+        runner.
+        """
+
+        return (mix_name, seed, mechanism, nrh, breakhammer,
+                self.config.entries_per_core, self.config.attacker_entries,
+                self.config.sim_cycles, self.config.engine)
+
+    def _cached_stats(self, key: RunKey) -> Optional[RunStatistics]:
+        """Memory-then-disk cache lookup; disk hits populate memory."""
+
+        stats = self._run_cache.get(key)
+        if stats is not None:
+            return stats
+        if self._disk_cache is not None:
+            stats = self._disk_cache.get(key)
+            if stats is not None:
+                self._run_cache[key] = stats
+                return stats
+        return None
+
+    def _store_stats(self, key: RunKey, stats: RunStatistics) -> None:
+        self._run_cache[key] = stats
+        if self._disk_cache is not None:
+            self._disk_cache.put(key, stats)
+
     def run(self, mix_name: str, mechanism: str, nrh: int,
             breakhammer: bool, seed: int = 0) -> RunStatistics:
         """Run (or fetch from cache) one simulation."""
 
-        key: RunKey = (mix_name, seed, mechanism, nrh, breakhammer)
-        if key in self._run_cache:
-            return self._run_cache[key]
+        key = self.run_key(mix_name, mechanism, nrh, breakhammer, seed)
+        stats = self._cached_stats(key)
+        if stats is not None:
+            return stats
         mix = self.mix(mix_name, seed)
         simulator = Simulator(
             self.system_config(mechanism, nrh, breakhammer),
@@ -169,23 +302,142 @@ class ExperimentRunner:
         )
         result = simulator.run()
         self.runs_executed += 1
-        self._run_cache[key] = result.stats
+        self._store_stats(key, result.stats)
         return result.stats
+
+    def _alone_disk_key(self, trace: Trace) -> RunKey:
+        """Disk-cache key of one standalone-IPC baseline run.
+
+        The baseline is persisted like any grid point — ``"alone"`` takes
+        the mechanism slot (not a registry name, so it cannot collide with
+        real runs) — letting repeat invocations with a disk cache skip the
+        per-trace baseline simulations too.
+        """
+
+        return (trace.name, len(trace), "alone", 0, False,
+                self.config.entries_per_core, self.config.attacker_entries,
+                self.config.sim_cycles, self.config.engine)
 
     def alone_ipc(self, trace: Trace) -> float:
         """Standalone IPC of one trace on a single-core, no-mitigation system."""
 
-        if trace.name in self._alone_ipc_cache:
-            return self._alone_ipc_cache[trace.name]
-        config = self._base_system.with_(
-            num_cores=1, mitigation="none", breakhammer_enabled=False
-        )
-        simulator = Simulator(config, [trace],
-                              self.config.simulation_config())
-        result = simulator.run()
-        ipc = max(1e-6, result.stats.ipc_of(0))
-        self._alone_ipc_cache[trace.name] = ipc
+        key = (trace.name, len(trace))
+        if key in self._alone_ipc_cache:
+            return self._alone_ipc_cache[key]
+        disk_key = self._alone_disk_key(trace)
+        stats = self._disk_cache.get(disk_key) if self._disk_cache else None
+        if stats is None:
+            config = self._base_system.with_(
+                num_cores=1, mitigation="none", breakhammer_enabled=False
+            )
+            simulator = Simulator(config, [trace],
+                                  self.config.simulation_config())
+            stats = simulator.run().stats
+            if self._disk_cache is not None:
+                self._disk_cache.put(disk_key, stats)
+        ipc = max(1e-6, stats.ipc_of(0))
+        self._alone_ipc_cache[key] = ipc
         return ipc
+
+    # ------------------------------------------------------------------ #
+    # Parallel sweep execution
+    # ------------------------------------------------------------------ #
+    def prefetch(self, runs: Sequence[RunSpec] = (),
+                 alone_mixes: Sequence[str] = (), seed: int = 0) -> int:
+        """Compute the missing portion of a run grid through the executor.
+
+        ``runs`` lists (mix, mechanism, nrh, breakhammer) grid points and
+        ``alone_mixes`` names mixes whose per-trace standalone-IPC
+        baselines are needed.  Points already memoised (in memory or on
+        disk) are skipped; the rest are executed — in worker processes when
+        a parallel executor is configured — and merged into this runner's
+        caches, so the figure code that follows hits warm caches only.
+        Returns the number of tasks actually executed.
+        """
+
+        tasks: List[RunTask] = []
+        pending_keys: List[RunKey] = []
+        seen_keys = set()
+        for mix_name, mechanism, nrh, breakhammer in runs:
+            key = self.run_key(mix_name, mechanism, nrh, breakhammer, seed)
+            if key in seen_keys or self._cached_stats(key) is not None:
+                continue
+            seen_keys.add(key)
+            pending_keys.append(key)
+            tasks.append(RunTask(
+                kind=TASK_RUN, mix_name=mix_name, seed=seed,
+                mechanism=mechanism, nrh=nrh, breakhammer=breakhammer,
+            ))
+        seen_alone = set()
+        for mix_name in dict.fromkeys(alone_mixes):
+            mix = self.mix(mix_name, seed)
+            for index, trace in enumerate(mix.traces):
+                alone_key = (trace.name, len(trace))
+                # Dedup within the batch too: mixes share traces (every
+                # attack mix carries the identical attacker trace).
+                if alone_key in self._alone_ipc_cache \
+                        or alone_key in seen_alone:
+                    continue
+                if self._disk_cache is not None:
+                    stats = self._disk_cache.get(self._alone_disk_key(trace))
+                    if stats is not None:
+                        self._alone_ipc_cache[alone_key] = \
+                            max(1e-6, stats.ipc_of(0))
+                        continue
+                seen_alone.add(alone_key)
+                tasks.append(RunTask(kind=TASK_ALONE, mix_name=mix_name,
+                                     seed=seed, trace_index=index))
+        if not tasks:
+            return 0
+        if isinstance(self._executor, SerialSweepExecutor):
+            # The serial path just runs through the ordinary entry points
+            # (which memoise and count as they go).
+            self._executor.execute(tasks)
+            return len(tasks)
+        results = self._executor.execute(tasks)
+        run_keys = iter(pending_keys)
+        for task, outcome in zip(tasks, results):
+            if task.kind == TASK_RUN:
+                # Memory only: the worker's own runner shares this cache
+                # configuration and already persisted the entry to disk.
+                self._run_cache[next(run_keys)] = outcome
+                self.runs_executed += 1
+            else:
+                alone: AloneResult = outcome
+                self._alone_ipc_cache[
+                    (alone.trace_name, alone.trace_length)
+                ] = alone.ipc
+        return len(tasks)
+
+    def _prefetch_grid(self, mixes: Sequence[str],
+                       mechanisms: Sequence[str],
+                       nrh_values: Sequence[int],
+                       breakhammer_values: Sequence[bool],
+                       baseline: bool = False,
+                       alone: bool = True,
+                       extra_runs: Sequence[RunSpec] = ()) -> int:
+        """Prefetch the cartesian grid common to the figure methods.
+
+        ``baseline`` adds the per-mix no-mitigation reference run at the
+        default N_RH; ``alone`` adds the standalone-IPC baselines of every
+        trace in the mixes; ``extra_runs`` are off-grid points batched into
+        the same executor dispatch (a second prefetch call would serialise
+        them behind the grid's barrier).
+        """
+
+        runs: List[RunSpec] = list(extra_runs)
+        if baseline:
+            runs.extend(
+                (mix, "none", self.config.nrh_default, False) for mix in mixes
+            )
+        runs.extend(
+            (mix, mechanism, nrh, breakhammer)
+            for mechanism in mechanisms
+            for nrh in nrh_values
+            for breakhammer in breakhammer_values
+            for mix in mixes
+        )
+        return self.prefetch(runs, alone_mixes=mixes if alone else ())
 
     # ------------------------------------------------------------------ #
     # Metrics over runs
@@ -221,6 +473,7 @@ class ExperimentRunner:
         mechanisms = list(mechanisms or MOTIVATION_MECHANISMS)
         mixes = list(mixes or self.config.benign_mixes)
         sweep = list(self.config.nrh_sweep)
+        self._prefetch_grid(mixes, mechanisms, sweep, (False,), baseline=True)
         figure = FigureData(
             figure_id="fig2",
             title="System performance of RowHammer mitigations vs N_RH "
@@ -270,6 +523,7 @@ class ExperimentRunner:
     def _per_mix_ratio(self, metric: str, nrh: int,
                        mixes: Sequence[str],
                        mechanisms: Sequence[str]) -> FigureData:
+        self._prefetch_grid(mixes, mechanisms, (nrh,), (False, True))
         is_perf = metric == "weighted_speedup"
         figure = FigureData(
             figure_id="fig6" if is_perf else "fig7",
@@ -328,6 +582,11 @@ class ExperimentRunner:
                      mechanisms: Sequence[str],
                      mixes: Sequence[str]) -> FigureData:
         sweep = list(self.config.nrh_sweep)
+        self._prefetch_grid(
+            mixes, mechanisms, sweep,
+            (False, True) if include_baseline_series else (True,),
+            baseline=True,
+        )
         is_perf = metric == "weighted_speedup"
         figure = FigureData(
             figure_id=figure_id,
@@ -395,6 +654,8 @@ class ExperimentRunner:
         ]
         mixes = list(mixes or self.config.attack_mixes)
         sweep = list(self.config.nrh_sweep)
+        self._prefetch_grid(mixes, mechanisms, sweep, (False, True),
+                            alone=False)
         figure = FigureData(
             figure_id="fig10",
             title="RowHammer-preventive actions vs N_RH (attacker present, "
@@ -440,6 +701,10 @@ class ExperimentRunner:
                 else self.config.benign_mixes
             )
         )
+        self._prefetch_grid(
+            mixes, mechanisms, (nrh,), (False, True), alone=False,
+            extra_runs=[(mix, "none", nrh, False) for mix in mixes],
+        )
         figure = FigureData(
             figure_id="fig11" if with_attacker else "fig17",
             title="Benign memory latency percentiles at low N_RH "
@@ -479,6 +744,8 @@ class ExperimentRunner:
         mechanisms = list(mechanisms or self.config.mechanisms)
         mixes = list(mixes or self.config.attack_mixes)
         sweep = list(self.config.nrh_sweep)
+        self._prefetch_grid(mixes, mechanisms, sweep, (False, True),
+                            baseline=True, alone=False)
         figure = FigureData(
             figure_id="fig12",
             title="DRAM energy vs N_RH (attacker present, normalised to "
@@ -542,6 +809,7 @@ class ExperimentRunner:
                         mechanisms: Sequence[str],
                         mixes: Sequence[str]) -> FigureData:
         sweep = list(self.config.nrh_sweep)
+        self._prefetch_grid(mixes, mechanisms, sweep, (False, True))
         is_perf = metric == "weighted_speedup"
         figure = FigureData(
             figure_id=figure_id,
@@ -594,6 +862,11 @@ class ExperimentRunner:
         mechanisms = list(mechanisms or self.config.mechanisms)
         mixes = list(mixes or self.config.attack_mixes)
         sweep = list(self.config.nrh_sweep)
+        self._prefetch_grid(
+            mixes, mechanisms, sweep, (True,), baseline=True,
+            extra_runs=[(mix, "blockhammer", nrh, False)
+                        for nrh in sweep for mix in mixes],
+        )
         figure = FigureData(
             figure_id="fig18",
             title="BreakHammer-paired mechanisms vs BlockHammer "
@@ -791,6 +1064,8 @@ class ExperimentRunner:
         """
 
         nrh = nrh or self.config.nrh_low
+        self._prefetch_grid(self.config.attack_mixes, self.config.mechanisms,
+                            (nrh,), (False, True))
         speedups: List[float] = []
         energy_ratios: List[float] = []
         action_ratios: List[float] = []

@@ -65,6 +65,27 @@ class FigureData:
             rows.append(row)
         return rows
 
+    def as_dict(self) -> Dict[str, object]:
+        """A plain-data snapshot of the whole figure.
+
+        Used to persist figure aggregates and to compare two
+        independently computed figures (e.g. a parallel sweep against the
+        serial reference) value-for-value.
+        """
+
+        return {
+            "figure_id": self.figure_id,
+            "title": self.title,
+            "x_label": self.x_label,
+            "y_label": self.y_label,
+            "x_values": list(self.x_values),
+            "series": {
+                label: list(series.values)
+                for label, series in self.series.items()
+            },
+            "notes": self.notes,
+        }
+
 
 @dataclass
 class TableData:
@@ -84,6 +105,17 @@ class TableData:
 
     def column(self, name: str) -> List[object]:
         return [row[name] for row in self.rows]
+
+    def as_dict(self) -> Dict[str, object]:
+        """A plain-data snapshot of the whole table (see FigureData)."""
+
+        return {
+            "table_id": self.table_id,
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [dict(row) for row in self.rows],
+            "notes": self.notes,
+        }
 
     def __len__(self) -> int:
         return len(self.rows)

@@ -1,0 +1,161 @@
+"""Persistent on-disk cache of simulation results.
+
+Repeated figure sweeps and benchmark invocations execute the same (mix,
+mechanism, N_RH, BreakHammer) grid points over and over.  Within one
+process :class:`repro.analysis.experiments.ExperimentRunner` memoises them;
+:class:`RunCache` extends that memoisation across *processes and
+invocations* by persisting each :class:`repro.sim.stats.RunStatistics` to
+disk.
+
+Layout and invalidation
+-----------------------
+Entries live under ``<root>/<fingerprint>/<key-digest>.pkl`` where
+
+* ``<root>`` is the directory named by the ``REPRO_CACHE_DIR`` environment
+  variable (or an explicit ``cache_dir``); when neither is set the cache is
+  disabled and every lookup misses;
+* ``<fingerprint>`` digests the complete harness + system + simulation
+  configuration (see :func:`repro.sim.config.config_fingerprint`), so any
+  configuration change — scale profile, engine, timings, thresholds —
+  automatically lands in a fresh, empty namespace; stale namespaces are
+  simply dead directories that can be deleted wholesale;
+* ``<key-digest>`` digests the full run key (mix, seed, mechanism, N_RH,
+  BreakHammer flag, trace lengths), so distinct grid points can never
+  alias.
+
+Writes are atomic (write to a temp file, then ``os.replace``) so parallel
+sweep workers and concurrent invocations can share one cache directory
+without corrupting entries; a torn or unreadable entry is treated as a
+miss and rewritten.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional, Tuple
+
+from repro.sim.stats import RunStatistics
+
+#: Environment variable naming the cache root directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Bump to invalidate every existing cache entry on format changes.
+CACHE_FORMAT_VERSION = 1
+
+
+def key_digest(key: Tuple) -> str:
+    """A stable filename-safe digest of one run key."""
+
+    payload = repr(key).encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()[:32]
+
+
+class RunCache:
+    """A directory of pickled :class:`RunStatistics`, one file per run key."""
+
+    def __init__(self, root: Path | str, fingerprint: str) -> None:
+        self.root = Path(root)
+        self.fingerprint = f"v{CACHE_FORMAT_VERSION}-{fingerprint}"
+        self.directory = self.root / self.fingerprint
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        self.write_errors = 0
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_env(cls, fingerprint: str,
+                 cache_dir: Optional[str] = None) -> Optional["RunCache"]:
+        """Build a cache from ``cache_dir`` or ``$REPRO_CACHE_DIR``.
+
+        ``cache_dir=None`` defers to the environment variable; an **empty
+        string force-disables** the cache even when ``REPRO_CACHE_DIR`` is
+        exported (cold-cache measurements and determinism tests rely on
+        this).  Returns ``None`` when the cache is disabled.
+        """
+
+        root = os.environ.get(CACHE_DIR_ENV) if cache_dir is None else cache_dir
+        if not root:
+            return None
+        return cls(root, fingerprint)
+
+    # ------------------------------------------------------------------ #
+    def _path(self, key: Tuple) -> Path:
+        return self.directory / f"{key_digest(key)}.pkl"
+
+    def get(self, key: Tuple) -> Optional[RunStatistics]:
+        """The cached statistics for ``key``, or ``None`` on a miss."""
+
+        path = self._path(key)
+        try:
+            payload = path.read_bytes()
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            stats = RunStatistics.from_payload(payload)
+        except Exception:
+            # A torn write or a stale format: treat as a miss; the caller
+            # recomputes and put() overwrites the bad entry.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return stats
+
+    def put(self, key: Tuple, stats: RunStatistics) -> None:
+        """Persist ``stats`` under ``key`` (atomic, last writer wins).
+
+        The cache is a pure optimisation: an unwritable directory (read
+        only, full, permissions changed mid-run) must not abort the sweep,
+        so write failures are swallowed and counted in ``write_errors``.
+        """
+
+        temp_name = None
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            payload = stats.to_payload()
+            fd, temp_name = tempfile.mkstemp(dir=self.directory,
+                                             suffix=".tmp")
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(payload)
+            os.replace(temp_name, self._path(key))
+        except OSError:
+            if temp_name is not None:
+                try:
+                    os.unlink(temp_name)
+                except OSError:
+                    pass
+            self.write_errors += 1
+            return
+        self.writes += 1
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for p in self.directory.glob("*.pkl"))
+
+    def clear(self) -> int:
+        """Delete this configuration's entries; return how many there were."""
+
+        removed = 0
+        if self.directory.is_dir():
+            for path in self.directory.glob("*.pkl"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def stats(self) -> dict:
+        return {
+            "directory": str(self.directory),
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "write_errors": self.write_errors,
+        }

@@ -1,21 +1,46 @@
 """Memory-access traces.
 
-A trace is the unit a core executes: an ordered list of
+A trace is the unit a core executes: an ordered sequence of
 :class:`TraceEntry` records, each describing a burst of non-memory
 instructions followed by one memory access (the same "bubble count + address"
 format Ramulator-style trace-driven cores consume).
 
+Storage is **columnar**: a trace holds three parallel arrays — bubble
+counts, addresses, and a packed flag byte (write / cache-bypass bits) —
+rather than a Python list of entry objects.  The columns are ``array``
+module buffers, so a trace of N entries costs a few machine words per entry,
+pickles to workers as three compact byte blobs, and can be written to /
+read from disk without parsing text.  ``TraceEntry`` objects are
+materialised lazily (once, on first indexed access) so the simulation hot
+path — :class:`TraceCursor` feeding a core — still reads a plain Python
+list exactly as before.
+
 Traces can be generated synthetically (see :mod:`repro.workloads`), saved to
-and loaded from a simple text format, and characterised (RBMPKI, per-row
-activation pressure) for the paper's Table 3.
+and loaded from a simple text format or the binary columnar format, and
+characterised (RBMPKI, per-row activation pressure) for the paper's Table 3.
 """
 
 from __future__ import annotations
 
 import io
-from dataclasses import dataclass, field
+import struct
+import sys
+from array import array
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Iterator, List, Optional, Sequence
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+#: Flag bits of the packed per-entry flag column.
+FLAG_WRITE = 0x1
+FLAG_BYPASS = 0x2
+
+#: Magic + version header of the binary columnar trace format.
+_COLUMNAR_MAGIC = b"RTRC"
+_COLUMNAR_VERSION = 1
+
+#: Array typecodes of the columns (bubble, address, flags).
+_BUBBLE_TYPECODE = "q"
+_ADDRESS_TYPECODE = "Q"
 
 
 @dataclass(frozen=True)
@@ -46,6 +71,14 @@ class TraceEntry:
 
         return self.bubble_count + 1
 
+    @property
+    def flags(self) -> int:
+        """The packed flag byte this entry occupies in the flag column."""
+
+        return (FLAG_WRITE if self.is_write else 0) | (
+            FLAG_BYPASS if self.bypass_cache else 0
+        )
+
 
 @dataclass
 class TraceWindowStats:
@@ -64,19 +97,96 @@ class TraceWindowStats:
 
 
 class Trace:
-    """An ordered memory-access trace for one hardware thread."""
+    """An ordered memory-access trace for one hardware thread.
+
+    Internally the trace is three parallel columns; the ``entries``
+    property (and therefore indexing and iteration) materialises
+    :class:`TraceEntry` objects once, on demand, and caches the list.
+    Columnar constructors (:meth:`from_columns`) skip per-entry object
+    construction entirely, which is how the synthetic generators build
+    traces cheaply.
+    """
 
     def __init__(self, entries: Sequence[TraceEntry], name: str = "trace",
                  loop: bool = True) -> None:
-        self.entries: List[TraceEntry] = list(entries)
+        entry_list = list(entries)  # materialise once: input may be a generator
+        bubbles = array(_BUBBLE_TYPECODE)
+        addresses = array(_ADDRESS_TYPECODE)
+        flags = bytearray()
+        for entry in entry_list:
+            bubbles.append(entry.bubble_count)
+            addresses.append(entry.address)
+            flags.append(entry.flags)
+        self._init_columns(bubbles, addresses, flags, name, loop)
+        # The caller handed us real entry objects; keep them as the
+        # materialised view instead of rebuilding them on first access.
+        self._entries = entry_list
+
+    def _init_columns(self, bubbles: array, addresses: array,
+                      flags: bytearray, name: str, loop: bool) -> None:
+        if not (len(bubbles) == len(addresses) == len(flags)):
+            raise ValueError("trace columns must have equal length")
+        if not len(bubbles):
+            raise ValueError("a trace must contain at least one entry")
+        self._bubbles = bubbles
+        self._addresses = addresses
+        self._flags = flags
         self.name = name
         self.loop = loop
-        if not self.entries:
-            raise ValueError("a trace must contain at least one entry")
+        self._entries: Optional[List[TraceEntry]] = None
+
+    @classmethod
+    def from_columns(cls, bubbles: Iterable[int], addresses: Iterable[int],
+                     flags: Iterable[int], name: str = "trace",
+                     loop: bool = True) -> "Trace":
+        """Build a trace directly from its columns (no per-entry objects).
+
+        The inputs are always copied, so the trace never aliases
+        caller-owned buffers (and two traces built from one
+        :attr:`columns` tuple never share state).
+        """
+
+        bubble_col = array(_BUBBLE_TYPECODE, bubbles)
+        address_col = array(_ADDRESS_TYPECODE, addresses)
+        flag_col = bytearray(flags)
+        if len(bubble_col) and min(bubble_col) < 0:
+            raise ValueError("bubble_count must be non-negative")
+        trace = cls.__new__(cls)
+        trace._init_columns(bubble_col, address_col, flag_col, name, loop)
+        return trace
+
+    # ------------------------------------------------------------------ #
+    # Columnar access
+    # ------------------------------------------------------------------ #
+    @property
+    def columns(self) -> Tuple[array, array, bytearray]:
+        """The (bubble, address, flag) columns backing this trace.
+
+        Borrowed, treat as read-only: mutating them would desync the
+        columnar data from any already-materialised ``entries`` view.
+        Constructors copy (see :meth:`from_columns`), so feeding one
+        trace's columns into another never shares state.
+        """
+
+        return self._bubbles, self._addresses, self._flags
+
+    @property
+    def entries(self) -> List[TraceEntry]:
+        """The materialised entry-object view (built once, cached)."""
+
+        if self._entries is None:
+            self._entries = [
+                TraceEntry(bubble, address,
+                           bool(flag & FLAG_WRITE), bool(flag & FLAG_BYPASS))
+                for bubble, address, flag in zip(
+                    self._bubbles, self._addresses, self._flags
+                )
+            ]
+        return self._entries
 
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:
-        return len(self.entries)
+        return len(self._bubbles)
 
     def __iter__(self) -> Iterator[TraceEntry]:
         return iter(self.entries)
@@ -86,19 +196,40 @@ class Trace:
 
     @property
     def total_instructions(self) -> int:
-        return sum(entry.instructions for entry in self.entries)
+        return sum(self._bubbles) + len(self._bubbles)
 
     @property
     def memory_accesses(self) -> int:
-        return len(self.entries)
+        return len(self._bubbles)
 
     @property
     def write_fraction(self) -> float:
-        writes = sum(1 for entry in self.entries if entry.is_write)
-        return writes / len(self.entries)
+        writes = sum(1 for flag in self._flags if flag & FLAG_WRITE)
+        return writes / len(self._flags)
 
     def cursor(self) -> "TraceCursor":
         return TraceCursor(self)
+
+    # ------------------------------------------------------------------ #
+    # Pickling ships only the columns, never the materialised objects,
+    # so sending a trace to a worker process costs three byte blobs.
+    # ------------------------------------------------------------------ #
+    def __getstate__(self) -> dict:
+        return {
+            "name": self.name,
+            "loop": self.loop,
+            "bubbles": self._bubbles.tobytes(),
+            "addresses": self._addresses.tobytes(),
+            "flags": bytes(self._flags),
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        bubbles = array(_BUBBLE_TYPECODE)
+        bubbles.frombytes(state["bubbles"])
+        addresses = array(_ADDRESS_TYPECODE)
+        addresses.frombytes(state["addresses"])
+        self._init_columns(bubbles, addresses, bytearray(state["flags"]),
+                           state["name"], state["loop"])
 
     # ------------------------------------------------------------------ #
     # Persistence (simple whitespace-separated text format)
@@ -111,11 +242,12 @@ class Trace:
             self.write_to(handle)
 
     def write_to(self, handle: io.TextIOBase) -> None:
-        for entry in self.entries:
-            kind = "W" if entry.is_write else "R"
-            if entry.bypass_cache:
+        for bubble, address, flag in zip(self._bubbles, self._addresses,
+                                         self._flags):
+            kind = "W" if flag & FLAG_WRITE else "R"
+            if flag & FLAG_BYPASS:
                 kind += "!"
-            handle.write(f"{entry.bubble_count} {entry.address} {kind}\n")
+            handle.write(f"{bubble} {address} {kind}\n")
 
     @classmethod
     def load(cls, path: Path | str, name: Optional[str] = None,
@@ -127,7 +259,9 @@ class Trace:
     @classmethod
     def parse(cls, handle: Iterable[str], name: str = "trace",
               loop: bool = True) -> "Trace":
-        entries: List[TraceEntry] = []
+        bubbles = array(_BUBBLE_TYPECODE)
+        addresses = array(_ADDRESS_TYPECODE)
+        flags = bytearray()
         for line_number, line in enumerate(handle, start=1):
             stripped = line.strip()
             if not stripped or stripped.startswith("#"):
@@ -139,11 +273,82 @@ class Trace:
                 )
             bubble = int(parts[0])
             address = int(parts[1], 0)
+            if bubble < 0 or address < 0:
+                raise ValueError(
+                    f"negative field on trace line {line_number}: {stripped!r}"
+                )
             kind = parts[2].upper() if len(parts) > 2 else "R"
-            is_write = kind.startswith("W")
-            bypass = kind.endswith("!")
-            entries.append(TraceEntry(bubble, address, is_write, bypass))
-        return cls(entries, name=name, loop=loop)
+            bubbles.append(bubble)
+            addresses.append(address)
+            flags.append(
+                (FLAG_WRITE if kind.startswith("W") else 0)
+                | (FLAG_BYPASS if kind.endswith("!") else 0)
+            )
+        return cls.from_columns(bubbles, addresses, flags, name=name,
+                                loop=loop)
+
+    # ------------------------------------------------------------------ #
+    # Persistence (binary columnar format)
+    # ------------------------------------------------------------------ #
+    def dump_columnar(self, path: Path | str) -> None:
+        """Write the raw columns to ``path`` (compact binary format).
+
+        Layout: magic, version, name, entry count, then the three column
+        byte blobs back to back.  Loading is a seek-free ``frombytes`` per
+        column — no per-line parsing, no per-entry objects.
+        """
+
+        name_bytes = self.name.encode("utf-8")
+        # Column payloads are written in native byte order (array.tobytes),
+        # so the header records which one; load_columnar byte-swaps when
+        # reading on a machine of the opposite endianness.
+        header = _COLUMNAR_MAGIC + struct.pack(
+            "<BBBH", _COLUMNAR_VERSION, 1 if self.loop else 0,
+            1 if sys.byteorder == "little" else 0, len(name_bytes)
+        )
+        with Path(path).open("wb") as handle:
+            handle.write(header)
+            handle.write(name_bytes)
+            handle.write(struct.pack("<Q", len(self)))
+            handle.write(self._bubbles.tobytes())
+            handle.write(self._addresses.tobytes())
+            handle.write(bytes(self._flags))
+
+    @classmethod
+    def load_columnar(cls, path: Path | str) -> "Trace":
+        """Load a trace written by :meth:`dump_columnar`."""
+
+        data = Path(path).read_bytes()
+        if data[:4] != _COLUMNAR_MAGIC:
+            raise ValueError(f"{path}: not a columnar trace file")
+        version, loop_byte, little_endian, name_length = \
+            struct.unpack_from("<BBBH", data, 4)
+        if version != _COLUMNAR_VERSION:
+            raise ValueError(
+                f"{path}: unsupported columnar trace version {version}"
+            )
+        swap = bool(little_endian) != (sys.byteorder == "little")
+        offset = 9
+        name = data[offset:offset + name_length].decode("utf-8")
+        offset += name_length
+        (count,) = struct.unpack_from("<Q", data, offset)
+        offset += 8
+        bubbles = array(_BUBBLE_TYPECODE)
+        bubble_bytes = count * bubbles.itemsize
+        bubbles.frombytes(data[offset:offset + bubble_bytes])
+        offset += bubble_bytes
+        addresses = array(_ADDRESS_TYPECODE)
+        address_bytes = count * addresses.itemsize
+        addresses.frombytes(data[offset:offset + address_bytes])
+        offset += address_bytes
+        if swap:
+            bubbles.byteswap()
+            addresses.byteswap()
+        flags = bytearray(data[offset:offset + count])
+        if len(flags) != count:
+            raise ValueError(f"{path}: truncated columnar trace file")
+        return cls.from_columns(bubbles, addresses, flags, name=name,
+                                loop=bool(loop_byte))
 
     # ------------------------------------------------------------------ #
     def characterize(self, mapper, window_entries: Optional[int] = None
@@ -155,13 +360,14 @@ class Trace:
         activation pressure the trace can exert.
         """
 
-        entries = self.entries[:window_entries] if window_entries else self.entries
+        end = window_entries if window_entries else len(self)
+        addresses = self._addresses[:end]
         row_counts: dict = {}
-        for entry in entries:
-            coord = mapper.map(entry.address)
+        for address in addresses:
+            coord = mapper.map(address)
             row_counts[coord.row_key] = row_counts.get(coord.row_key, 0) + 1
-        instructions = sum(entry.instructions for entry in entries)
-        memory_accesses = len(entries)
+        memory_accesses = len(addresses)
+        instructions = sum(self._bubbles[:end]) + memory_accesses
         rbmpki = (
             1000.0 * memory_accesses / instructions if instructions else 0.0
         )

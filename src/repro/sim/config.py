@@ -23,6 +23,8 @@ available through :meth:`SystemConfig.paper_exact`.
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
 from dataclasses import dataclass, field, replace
 from typing import Dict, Optional
 
@@ -35,6 +37,28 @@ from repro.dram.config import DeviceConfig
 
 #: Valid values of :attr:`SimulationConfig.engine`.
 SIMULATION_ENGINES = ("cycle", "fast")
+
+
+def config_fingerprint(*configs) -> str:
+    """A short stable digest over one or more (frozen) config dataclasses.
+
+    The digest covers every field, recursively (nested dataclasses are
+    flattened by :func:`dataclasses.asdict`; enums and other values fall
+    back to ``repr``), so *any* configuration difference — device geometry,
+    timing compression, mitigation kwargs, scheduler choice — yields a
+    different fingerprint.  The on-disk run cache uses this to key cached
+    :class:`repro.sim.stats.RunStatistics` so two distinct configurations
+    can never alias.
+    """
+
+    parts = []
+    for config in configs:
+        if dataclasses.is_dataclass(config) and not isinstance(config, type):
+            parts.append(repr(dataclasses.asdict(config)))
+        else:
+            parts.append(repr(config))
+    payload = "\x1e".join(parts).encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()[:20]
 
 
 @dataclass(frozen=True)

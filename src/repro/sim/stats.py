@@ -9,6 +9,7 @@ internals.
 
 from __future__ import annotations
 
+import pickle
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -84,6 +85,29 @@ class RunStatistics:
     @property
     def energy_mj(self) -> float:
         return self.energy.total_mj if self.energy else 0.0
+
+    # ------------------------------------------------------------------ #
+    # Serialization — the parallel sweep executor ships RunStatistics from
+    # worker processes, and the on-disk run cache persists them between
+    # invocations.  Pickle round-trips every field (floats included)
+    # bit-exactly, which the determinism tests rely on.
+    # ------------------------------------------------------------------ #
+    def to_payload(self) -> bytes:
+        """Serialise to a compact byte payload (exact round-trip)."""
+
+        return pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @classmethod
+    def from_payload(cls, payload: bytes) -> "RunStatistics":
+        """Inverse of :meth:`to_payload`."""
+
+        stats = pickle.loads(payload)
+        if not isinstance(stats, cls):
+            raise TypeError(
+                f"payload decoded to {type(stats).__name__}, "
+                f"expected {cls.__name__}"
+            )
+        return stats
 
     # ------------------------------------------------------------------ #
     def summary(self) -> Dict[str, object]:

@@ -25,10 +25,11 @@ controller applies.
 from __future__ import annotations
 
 import random
+from array import array
 from dataclasses import dataclass
 from typing import List, Optional
 
-from repro.cpu.trace import Trace, TraceEntry
+from repro.cpu.trace import FLAG_BYPASS, Trace
 from repro.dram.address import AddressMapper, MappingScheme
 from repro.dram.config import DeviceConfig
 
@@ -102,7 +103,10 @@ def generate_attacker_trace(device: Optional[DeviceConfig] = None,
     columns_available = device.cachelines_per_row
     columns = min(config.columns_per_row, columns_available)
 
-    entries: List[TraceEntry] = []
+    bubbles = array("q")
+    addresses = array("Q")
+    flags = bytearray()
+    flag = FLAG_BYPASS if config.bypass_cache else 0
     column_cursor = [0] * len(aggressors)
     index = 0
     for _ in range(config.entries):
@@ -118,16 +122,15 @@ def generate_attacker_trace(device: Optional[DeviceConfig] = None,
             0 if config.mean_bubble == 0
             else max(0, int(rng.expovariate(1.0 / config.mean_bubble)))
         )
-        entries.append(
-            TraceEntry(bubble, address, is_write=False,
-                       bypass_cache=config.bypass_cache)
-        )
+        bubbles.append(bubble)
+        addresses.append(address)
+        flags.append(flag)
         # Round-robin over aggressors; consecutive accesses hit different
         # banks, and returning to a bank lands on its *other* aggressor row,
         # forcing a row-buffer conflict (double-sided hammering).
         index = (index + 1) % len(aggressors)
 
-    return Trace(entries, name=name, loop=True)
+    return Trace.from_columns(bubbles, addresses, flags, name=name, loop=True)
 
 
 def aggressor_rows(device: DeviceConfig, config: AttackerConfig) -> List[tuple]:

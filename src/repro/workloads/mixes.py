@@ -13,10 +13,11 @@ crafted against specific DRAM rows.
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro.cpu.trace import Trace, TraceEntry
+from repro.cpu.trace import Trace
 from repro.dram.address import MappingScheme
 from repro.dram.config import DeviceConfig
 from repro.workloads.attacker import AttackerConfig, generate_attacker_trace
@@ -68,11 +69,12 @@ def mix_names(with_attacker: bool) -> List[str]:
 def offset_trace(trace: Trace, offset_bytes: int) -> Trace:
     """Shift every address in ``trace`` by ``offset_bytes``."""
 
-    entries = [
-        TraceEntry(e.bubble_count, e.address + offset_bytes, e.is_write)
-        for e in trace.entries
-    ]
-    return Trace(entries, name=trace.name, loop=trace.loop)
+    bubbles, addresses, flags = trace.columns
+    shifted = array(addresses.typecode,
+                    (address + offset_bytes for address in addresses))
+    return Trace.from_columns(array(bubbles.typecode, bubbles), shifted,
+                              bytearray(flags), name=trace.name,
+                              loop=trace.loop)
 
 
 def make_mix(

@@ -17,10 +17,11 @@ from __future__ import annotations
 
 import enum
 import random
+from array import array
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Optional
 
-from repro.cpu.trace import Trace, TraceEntry
+from repro.cpu.trace import FLAG_WRITE, Trace
 
 
 class MemoryIntensity(enum.Enum):
@@ -123,8 +124,12 @@ def generate_benign_trace(config: BenignConfig,
         rng.randrange(rows_in_footprint) for _ in range(config.hot_rows)
     ] or [0]
 
-    entries: List[TraceEntry] = []
-    recent_lines: List[int] = []
+    # Build the trace columns directly (no per-entry objects): the columnar
+    # Trace materialises TraceEntry views lazily only where they are needed.
+    bubbles = array("q")
+    addresses = array("Q")
+    flags = bytearray()
+    recent_lines: list = []
     current_line = rng.randrange(lines_in_footprint)
     p_hot = config.hot_fraction
     p_reuse = p_hot + config.reuse_probability
@@ -148,12 +153,12 @@ def generate_benign_trace(config: BenignConfig,
         recent_lines.append(current_line)
         if len(recent_lines) > config.reuse_window:
             recent_lines.pop(0)
-        address = current_line * config.cacheline_bytes
-        is_write = rng.random() < config.write_fraction
-        entries.append(TraceEntry(bubble, address, is_write))
+        bubbles.append(bubble)
+        addresses.append(current_line * config.cacheline_bytes)
+        flags.append(FLAG_WRITE if rng.random() < config.write_fraction else 0)
 
     label = name or f"benign_{config.intensity.value}_{config.seed}"
-    return Trace(entries, name=label, loop=True)
+    return Trace.from_columns(bubbles, addresses, flags, name=label, loop=True)
 
 
 def generate_intensity_trace(letter: str, seed: int = 0,

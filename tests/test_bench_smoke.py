@@ -1,0 +1,82 @@
+"""Bench smoke: one representative point of each figure sweep.
+
+Tier-1-budget coverage of the full experiment surface: a micro-scale
+harness profile with a **parallel (jobs=2) sweep executor** computes one
+grid point of every figure family — motivation (fig. 2), per-mix attack
+(figs. 6/7), N_RH scaling (figs. 8/9/10/12/18), latency percentiles
+(fig. 11), all-benign (figs. 13/15), and the headline numbers — so the
+process-pool path, the prefetch plumbing, and every figure method are
+exercised on each tier-1 run.  Select just these checks with
+``pytest -m bench_smoke``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import ExperimentRunner, HarnessConfig
+
+pytestmark = pytest.mark.bench_smoke
+
+#: One point per sweep dimension: a single attack mix, a single benign mix,
+#: one mechanism, one low threshold (plus the nrh_default baseline).
+_SMOKE_PROFILE = HarnessConfig(
+    sim_cycles=1_500,
+    entries_per_core=600,
+    attacker_entries=800,
+    nrh_sweep=(64,),
+    attack_mixes=("MMLA",),
+    benign_mixes=("MMLL",),
+    mechanisms=("para",),
+    seeds=(0,),
+    jobs=2,
+    cache_dir="",  # hermetic even when REPRO_CACHE_DIR is exported
+)
+
+
+@pytest.fixture(scope="module")
+def smoke_runner():
+    with ExperimentRunner(_SMOKE_PROFILE) as runner:
+        assert runner.jobs == 2
+        yield runner
+
+
+def test_motivation_point(smoke_runner):
+    figure = smoke_runner.figure2(mechanisms=["para"])
+    assert figure.get("para").values[0] > 0
+
+
+def test_attack_per_mix_points(smoke_runner):
+    fig6 = smoke_runner.figure6()
+    fig7 = smoke_runner.figure7()
+    assert fig6.get("para+BH").values[-1] > 0
+    assert fig7.get("para+BH").values[-1] > 0
+
+
+def test_nrh_scaling_points(smoke_runner):
+    fig8 = smoke_runner.figure8()
+    assert {"para", "para+BH"} <= set(fig8.labels())
+    fig10 = smoke_runner.figure10()
+    assert fig10.get("para").values  # normalised action counts exist
+
+
+def test_latency_and_energy_points(smoke_runner):
+    fig11 = smoke_runner.figure11(points=(50, 100))
+    for series in fig11.series.values():
+        assert series.values == sorted(series.values)
+    fig12 = smoke_runner.figure12()
+    assert all(v > 0 for v in fig12.get("para").values)
+
+
+def test_benign_points(smoke_runner):
+    fig13 = smoke_runner.figure13()
+    assert fig13.get("para+BH").values[-1] > 0
+    fig15 = smoke_runner.figure15()
+    assert fig15.get("para+BH").values
+
+
+def test_blockhammer_and_headline_points(smoke_runner):
+    fig18 = smoke_runner.figure18()
+    assert "blockhammer" in fig18.series
+    numbers = smoke_runner.headline_numbers()
+    assert numbers["mean_benign_speedup"] > 0

@@ -72,6 +72,128 @@ class TestTrace:
         assert stats.rbmpki == pytest.approx(1000.0)
 
 
+class TestColumnarStorage:
+    """The array-backed columns must agree entry-for-entry with the
+    object/text views, including derived statistics."""
+
+    def make(self) -> Trace:
+        entries = [
+            TraceEntry(2, 0, False),
+            TraceEntry(0, 64, True),
+            TraceEntry(1, 128, False, bypass_cache=True),
+            TraceEntry(7, 0x1000, True, bypass_cache=True),
+        ]
+        return Trace(entries, name="columnar", loop=False)
+
+    def test_from_columns_matches_entry_construction(self):
+        reference = self.make()
+        bubbles, addresses, flags = reference.columns
+        rebuilt = Trace.from_columns(bubbles, addresses, flags,
+                                     name="columnar", loop=False)
+        assert list(rebuilt) == list(reference)
+        assert rebuilt.total_instructions == reference.total_instructions
+        assert rebuilt.write_fraction == reference.write_fraction
+
+    def test_text_and_columnar_formats_agree(self, tmp_path):
+        trace = self.make()
+        text_path = tmp_path / "trace.txt"
+        binary_path = tmp_path / "trace.rtrc"
+        trace.dump(text_path)
+        trace.dump_columnar(binary_path)
+        from_text = Trace.load(text_path, name="columnar", loop=False)
+        from_binary = Trace.load_columnar(binary_path)
+        assert list(from_text) == list(from_binary) == list(trace)
+        assert from_binary.name == "columnar"
+        assert from_binary.loop is False
+        assert from_text.write_fraction == from_binary.write_fraction \
+            == pytest.approx(0.5)
+
+    def test_characterization_matches_across_formats(self, tmp_path):
+        cfg = DeviceConfig.tiny()
+        mapper = AddressMapper(cfg, MappingScheme.ROW_INTERLEAVED)
+        address = mapper.address_for_row(0, 0, 0, 0, 3)
+        trace = Trace([TraceEntry(i % 3, address, i % 2 == 0)
+                       for i in range(100)], name="hot")
+        path = tmp_path / "hot.rtrc"
+        trace.dump_columnar(path)
+        reloaded = Trace.load_columnar(path)
+        assert reloaded.characterize(mapper).as_dict() == \
+            trace.characterize(mapper).as_dict()
+        assert reloaded.characterize(mapper, window_entries=10).as_dict() == \
+            trace.characterize(mapper, window_entries=10).as_dict()
+
+    def test_pickle_ships_columns_and_round_trips(self):
+        import pickle
+
+        trace = self.make()
+        state = trace.__getstate__()
+        assert set(state) == {"name", "loop", "bubbles", "addresses", "flags"}
+        clone = pickle.loads(pickle.dumps(trace))
+        assert clone.name == trace.name
+        assert clone.loop == trace.loop
+        assert list(clone) == list(trace)
+
+    def test_generator_input_materialised_once(self):
+        entries = [TraceEntry(1, 64), TraceEntry(0, 128, True)]
+        trace = Trace(entry for entry in entries)
+        assert len(trace) == 2
+        assert list(trace) == entries
+
+    def test_columnar_file_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.rtrc"
+        path.write_bytes(b"not a trace")
+        with pytest.raises(ValueError):
+            Trace.load_columnar(path)
+
+    def test_load_columnar_byteswaps_foreign_endianness(self, tmp_path):
+        import struct
+        from array import array
+
+        trace = self.make()
+        path = tmp_path / "foreign.rtrc"
+        trace.dump_columnar(path)
+        # Rewrite the file as a machine of the opposite endianness would
+        # have: flip the header marker and byte-swap the numeric columns.
+        data = bytearray(path.read_bytes())
+        data[6] ^= 1
+        (name_length,) = struct.unpack_from("<H", data, 7)
+        offset = 9 + name_length + 8
+        count = len(trace)
+        for typecode in ("q", "Q"):
+            column = array(typecode)
+            width = column.itemsize * count
+            column.frombytes(bytes(data[offset:offset + width]))
+            column.byteswap()
+            data[offset:offset + width] = column.tobytes()
+            offset += width
+        path.write_bytes(bytes(data))
+        assert list(Trace.load_columnar(path)) == list(trace)
+
+    def test_from_columns_copies_buffers(self):
+        from array import array
+
+        bubbles = array("q", [1, 2])
+        addresses = array("Q", [0, 64])
+        flags = bytearray(b"\x00\x01")
+        trace = Trace.from_columns(bubbles, addresses, flags)
+        bubbles.append(9)
+        flags[0] = 0xFF
+        assert len(trace) == 2
+        assert trace[0].is_write is False
+
+    def test_from_columns_validates(self):
+        with pytest.raises(ValueError):
+            Trace.from_columns([1, 2], [0], b"\x00\x00")  # ragged columns
+        with pytest.raises(ValueError):
+            Trace.from_columns([], [], b"")  # empty trace
+        with pytest.raises(ValueError):
+            Trace.from_columns([-1], [0], b"\x00")  # negative bubble
+
+    def test_parse_rejects_negative_fields(self):
+        with pytest.raises(ValueError):
+            Trace.parse(["-1 64 R"])
+
+
 class TestTraceCursor:
     def test_looping_cursor_wraps(self):
         trace = Trace([TraceEntry(0, 0), TraceEntry(0, 64)], loop=True)

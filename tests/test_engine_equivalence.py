@@ -85,6 +85,51 @@ class TestEngineEquivalence:
     def test_attacker_mix_with_rfm(self):
         _assert_identical("MMLA", "rfm", True)
 
+    def test_rega_adjusted_timings(self):
+        """REGA inflates tRAS/tRC instead of issuing blocking commands; the
+        fast engine must honour the *adjusted* timings when computing its
+        jump targets, and REGA's zero-command preventive actions must be
+        scored identically by BreakHammer under both engines."""
+
+        cycle_result, fast_result, _ = _assert_identical(
+            "HHMA", "rega", True
+        )
+        mechanism_stats = cycle_result.stats.mitigation_stats
+        assert mechanism_stats["timing_penalty_ns"] > 0
+        assert cycle_result.stats.preventive_actions > 0
+        # The adjusted device really is what both systems simulated.
+        base = SystemConfig.fast_profile(mitigation="rega", nrh=64,
+                                         sim_cycles=SIM_CYCLES)
+        for result in (cycle_result, fast_result):
+            assert result.system.device.timings.trc > base.device.timings.trc
+
+    def test_multi_rank_refresh(self):
+        """Both ranks' periodic refreshes must land on identical cycles.
+
+        The fast engine treats every rank's next refresh deadline as an
+        event; with the paper's two-rank device several tREFI windows
+        elapse per run, so this pins per-rank refresh bookkeeping (issued
+        and postponed counts), not just the aggregate REF count.
+        """
+
+        cycle_result, fast_result, _ = _assert_identical(
+            "MMLA", "graphene", False
+        )
+        managers = [
+            result.system.controller.refresh_manager
+            for result in (cycle_result, fast_result)
+        ]
+        assert managers[0].config.ranks >= 2
+        for state_cycle, state_fast in zip(managers[0].states,
+                                           managers[1].states):
+            assert state_cycle.issued_count == state_fast.issued_count
+            assert state_cycle.postponed == state_fast.postponed
+            assert state_cycle.next_refresh_cycle == \
+                state_fast.next_refresh_cycle
+            # Every rank actually refreshed during the run.
+            assert state_cycle.issued_count > 0
+        assert cycle_result.stats.refreshes >= 2 * managers[0].config.ranks
+
     def test_warmup_boundary_is_simulated_exactly(self):
         """The fast engine must land on (not jump over) the warmup cycle."""
 

@@ -34,6 +34,16 @@ class TestFigureData:
         assert figure.get("mech").mean == pytest.approx(0.55)
         assert figure.labels() == ["mech"]
 
+    def test_as_dict_snapshots(self):
+        figure = FigureData("f", "t", "nrh", "y", [64])
+        figure.add_series("mech", [0.5])
+        snap = figure.as_dict()
+        assert snap["series"] == {"mech": [0.5]}
+        assert snap["x_values"] == [64]
+        table = TableData("t", "title", ["a"])
+        table.add_row({"a": 1})
+        assert table.as_dict()["rows"] == [{"a": 1}]
+
     def test_table_validates_columns(self):
         table = TableData("t", "title", ["a", "b"])
         table.add_row({"a": 1, "b": 2})
