@@ -1,0 +1,59 @@
+"""Throughput of the differential-fuzzer loop (scenarios per second).
+
+Each scenario of a fuzzing campaign costs two full simulations (``cycle``
+and ``fast``), so the fuzzer's coverage per CPU-hour is bounded by this
+loop.  The benchmark replays a fixed slice of the smoke-profile scenario
+stream — the same generator the CLI and the ``fuzz_smoke`` corpus use — and
+reports scenarios/second in the benchmark ``extra_info``, so regressions in
+either engine (or in trace generation, which dominates short runs) show up
+as a throughput drop.
+
+Run with ``pytest benchmarks/bench_fuzz_throughput.py``; scale the slice
+with ``REPRO_FUZZ_BENCH_COUNT`` (default 10).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.testing.fuzz import run_differential
+from repro.testing.scenarios import generate_scenarios
+
+from conftest import run_once
+
+#: Campaign seed of the benchmarked slice; fixed so timings are comparable
+#: across invocations.
+_BENCH_SEED = 0
+
+
+def _count() -> int:
+    return max(1, int(os.environ.get("REPRO_FUZZ_BENCH_COUNT", "10")))
+
+
+def _campaign(scenarios):
+    reports = [run_differential(scenario) for scenario in scenarios]
+    divergences = [r for r in reports if not r.identical]
+    assert not divergences, divergences[0].summary()
+    return reports
+
+
+@pytest.mark.bench_smoke
+def test_fuzz_throughput(benchmark):
+    scenarios = generate_scenarios(_BENCH_SEED, _count())
+    started = time.perf_counter()
+    reports = run_once(benchmark, _campaign, scenarios)
+    elapsed = max(1e-9, time.perf_counter() - started)
+
+    benchmark.extra_info["scenarios"] = len(reports)
+    benchmark.extra_info["scenarios_per_second"] = round(
+        len(reports) / elapsed, 3)
+    # How much work the fast engine skipped across the slice: the tick
+    # ratio is the speedup ceiling the differential pays for twice-running.
+    ticks_cycle = sum(r.ticks_cycle for r in reports)
+    ticks_fast = sum(r.ticks_fast for r in reports)
+    benchmark.extra_info["fast_engine_skip_factor"] = round(
+        ticks_cycle / max(1, ticks_fast), 3)
+    assert len(reports) == len(scenarios)

@@ -34,10 +34,14 @@ Sweep execution is controlled by two more variables (see ROADMAP.md
   a configuration fingerprint, so changing profile/engine/scale can never
   serve stale results.
 
-The ``bench_smoke`` marker tags the representative one-point-per-sweep
-checks (see ``tests/test_bench_smoke.py`` and ``bench_sweep_scaling.py``)
-that exercise the parallel path inside tier-1 time budgets:
-``pytest -m bench_smoke``.
+The ``bench_smoke`` marker (registered in the repository's ``pytest.ini``)
+tags the representative one-point-per-sweep checks (see
+``tests/test_bench_smoke.py`` and ``bench_sweep_scaling.py``) that exercise
+the parallel path inside tier-1 time budgets: ``pytest -m bench_smoke``.
+The sibling ``fuzz_smoke`` marker selects the differential-fuzz corpus
+(``tests/test_fuzz_smoke.py``); long fuzzing campaigns run through
+``python -m repro.testing.fuzz`` and their throughput is measured by
+``bench_fuzz_throughput.py``.
 """
 
 from __future__ import annotations
@@ -56,14 +60,6 @@ if str(_SRC) not in sys.path:
 from repro.analysis.experiments import ExperimentRunner, HarnessConfig  # noqa: E402
 from repro.analysis.report import render_figure, render_table  # noqa: E402
 from repro.sim.config import SIMULATION_ENGINES  # noqa: E402
-
-
-def pytest_configure(config):
-    config.addinivalue_line(
-        "markers",
-        "bench_smoke: fast representative point of each figure sweep "
-        "(exercises the parallel sweep path in tier-1 time budgets)",
-    )
 
 
 def _profile() -> HarnessConfig:

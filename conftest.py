@@ -4,6 +4,9 @@ Ensures ``src/`` is importable even when the package has not been installed
 (`pip install -e .` requires the ``wheel`` package, which offline
 environments may lack); running ``pytest`` from the repository root always
 works.
+
+Markers (``bench_smoke``, ``fuzz_smoke``) are registered in ``pytest.ini``
+so ``-m`` selection is warning-free everywhere.
 """
 
 import sys
@@ -12,11 +15,3 @@ from pathlib import Path
 _SRC = Path(__file__).resolve().parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
-
-
-def pytest_configure(config):
-    config.addinivalue_line(
-        "markers",
-        "bench_smoke: fast representative point of each figure sweep "
-        "(exercises the parallel sweep path in tier-1 time budgets)",
-    )

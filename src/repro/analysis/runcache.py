@@ -25,15 +25,21 @@ Entries live under ``<root>/<fingerprint>/<key-digest>.pkl`` where
 
 Writes are atomic (write to a temp file, then ``os.replace``) so parallel
 sweep workers and concurrent invocations can share one cache directory
-without corrupting entries; a torn or unreadable entry is treated as a
-miss and rewritten.
+without corrupting entries.  Each entry is framed — a magic tag, the
+payload length, and a CRC32 ahead of the pickled statistics — so a
+truncated or corrupted file (a torn write on a crashing host, a partially
+synced network filesystem, bit rot) is *detected*, treated as a miss, and
+unlinked; the caller recomputes and the atomic ``put`` rewrites the entry.
+Detection never relies on ``pickle`` happening to raise on mangled input.
 """
 
 from __future__ import annotations
 
 import hashlib
 import os
+import struct
 import tempfile
+import zlib
 from pathlib import Path
 from typing import Optional, Tuple
 
@@ -43,7 +49,33 @@ from repro.sim.stats import RunStatistics
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
 #: Bump to invalidate every existing cache entry on format changes.
-CACHE_FORMAT_VERSION = 1
+#: Version 2 introduced the length+CRC entry frame.
+CACHE_FORMAT_VERSION = 2
+
+#: Entry frame: magic, CRC32 of the payload, payload length.
+_ENTRY_MAGIC = b"RCHE"
+_ENTRY_HEADER = struct.Struct("<4sIQ")
+
+
+def frame_payload(payload: bytes) -> bytes:
+    """Wrap a serialised entry in the integrity frame."""
+
+    return _ENTRY_HEADER.pack(_ENTRY_MAGIC, zlib.crc32(payload),
+                              len(payload)) + payload
+
+
+def unframe_payload(data: bytes) -> Optional[bytes]:
+    """The framed payload, or ``None`` if truncated/corrupt/foreign."""
+
+    if len(data) < _ENTRY_HEADER.size:
+        return None
+    magic, crc, length = _ENTRY_HEADER.unpack_from(data)
+    payload = data[_ENTRY_HEADER.size:]
+    if magic != _ENTRY_MAGIC or len(payload) != length:
+        return None
+    if zlib.crc32(payload) != crc:
+        return None
+    return payload
 
 
 def key_digest(key: Tuple) -> str:
@@ -64,6 +96,7 @@ class RunCache:
         self.misses = 0
         self.writes = 0
         self.write_errors = 0
+        self.corrupt_entries = 0
 
     # ------------------------------------------------------------------ #
     @classmethod
@@ -87,23 +120,38 @@ class RunCache:
         return self.directory / f"{key_digest(key)}.pkl"
 
     def get(self, key: Tuple) -> Optional[RunStatistics]:
-        """The cached statistics for ``key``, or ``None`` on a miss."""
+        """The cached statistics for ``key``, or ``None`` on a miss.
+
+        A truncated, corrupted, or foreign-format entry is a miss, never an
+        error: the frame check (magic + length + CRC32) detects the damage,
+        the dead file is unlinked (best effort), and the caller recomputes
+        and rewrites it atomically through :meth:`put`.
+        """
 
         path = self._path(key)
         try:
-            payload = path.read_bytes()
+            data = path.read_bytes()
         except OSError:
             self.misses += 1
             return None
+        payload = unframe_payload(data)
+        if payload is not None:
+            try:
+                stats = RunStatistics.from_payload(payload)
+            except Exception:
+                # The frame was intact but the payload does not decode — a
+                # stale pickle format, not damage; still just a miss.
+                stats = None
+            if stats is not None:
+                self.hits += 1
+                return stats
+        self.misses += 1
+        self.corrupt_entries += 1
         try:
-            stats = RunStatistics.from_payload(payload)
-        except Exception:
-            # A torn write or a stale format: treat as a miss; the caller
-            # recomputes and put() overwrites the bad entry.
-            self.misses += 1
-            return None
-        self.hits += 1
-        return stats
+            path.unlink()
+        except OSError:
+            pass
+        return None
 
     def put(self, key: Tuple, stats: RunStatistics) -> None:
         """Persist ``stats`` under ``key`` (atomic, last writer wins).
@@ -116,7 +164,7 @@ class RunCache:
         temp_name = None
         try:
             self.directory.mkdir(parents=True, exist_ok=True)
-            payload = stats.to_payload()
+            payload = frame_payload(stats.to_payload())
             fd, temp_name = tempfile.mkstemp(dir=self.directory,
                                              suffix=".tmp")
             with os.fdopen(fd, "wb") as handle:
@@ -158,4 +206,5 @@ class RunCache:
             "misses": self.misses,
             "writes": self.writes,
             "write_errors": self.write_errors,
+            "corrupt_entries": self.corrupt_entries,
         }

@@ -321,6 +321,8 @@ class Trace:
         data = Path(path).read_bytes()
         if data[:4] != _COLUMNAR_MAGIC:
             raise ValueError(f"{path}: not a columnar trace file")
+        if len(data) < 9:  # magic + BBBH header
+            raise ValueError(f"{path}: truncated columnar trace file")
         version, loop_byte, little_endian, name_length = \
             struct.unpack_from("<BBBH", data, 4)
         if version != _COLUMNAR_VERSION:
@@ -329,23 +331,35 @@ class Trace:
             )
         swap = bool(little_endian) != (sys.byteorder == "little")
         offset = 9
-        name = data[offset:offset + name_length].decode("utf-8")
+        name_bytes = data[offset:offset + name_length]
+        if len(name_bytes) != name_length or len(data) < offset + name_length + 8:
+            raise ValueError(f"{path}: truncated columnar trace file")
+        name = name_bytes.decode("utf-8")
         offset += name_length
         (count,) = struct.unpack_from("<Q", data, offset)
         offset += 8
         bubbles = array(_BUBBLE_TYPECODE)
         bubble_bytes = count * bubbles.itemsize
-        bubbles.frombytes(data[offset:offset + bubble_bytes])
+        try:
+            bubbles.frombytes(data[offset:offset + bubble_bytes])
+        except ValueError as exc:
+            raise ValueError(f"{path}: truncated columnar trace file") from exc
         offset += bubble_bytes
         addresses = array(_ADDRESS_TYPECODE)
         address_bytes = count * addresses.itemsize
-        addresses.frombytes(data[offset:offset + address_bytes])
+        try:
+            addresses.frombytes(data[offset:offset + address_bytes])
+        except ValueError as exc:
+            raise ValueError(f"{path}: truncated columnar trace file") from exc
         offset += address_bytes
         if swap:
             bubbles.byteswap()
             addresses.byteswap()
         flags = bytearray(data[offset:offset + count])
-        if len(flags) != count:
+        # Every column must hold exactly `count` items: a file truncated at
+        # an 8-byte boundary parses into *short* arrays, which the
+        # per-column frombytes calls cannot see on their own.
+        if not (len(bubbles) == len(addresses) == len(flags) == count):
             raise ValueError(f"{path}: truncated columnar trace file")
         return cls.from_columns(bubbles, addresses, flags, name=name,
                                 loop=bool(loop_byte))

@@ -1,0 +1,302 @@
+"""Scenario space of the differential fuzzer.
+
+A :class:`Scenario` is one fully specified simulation setup: workload mix
+(benign intensities, attacker, DMA stream), mitigation mechanism and its
+threshold, BreakHammer, device geometry (rank count, timing compression),
+scheduler policy, and every run-bounding knob the engines must agree on
+(cycle budget, warmup boundary, instruction limit).  The sampler draws
+scenarios from that space deterministically from a seed, so any scenario —
+and any whole campaign — can be replayed exactly.
+
+Mechanism coverage is guaranteed, not hoped for: scenario ``i`` of a batch
+uses mechanism ``FUZZ_MECHANISMS[i % len]``, so any batch of at least ten
+scenarios exercises every registered mitigation (the paper's eight paired
+mechanisms plus ``none`` and BlockHammer); the remaining dimensions are
+sampled randomly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import List, Optional, Tuple
+
+from repro.dram.config import DeviceConfig
+from repro.mitigations.registry import PAIRED_MECHANISMS
+from repro.sim.config import SimulationConfig, SystemConfig
+from repro.workloads.attacker import AttackerConfig
+from repro.workloads.mixes import WorkloadMix, make_mix
+
+#: Every mechanism the fuzzer rotates through (registry order: the paper's
+#: eight BreakHammer-paired mechanisms, the no-mitigation baseline, and
+#: BlockHammer).
+FUZZ_MECHANISMS: Tuple[str, ...] = (*PAIRED_MECHANISMS, "none", "blockhammer")
+
+#: Seed of the fixed pytest corpora (``-m fuzz_smoke``); never change it
+#: without re-validating the corpus, it defines which scenarios CI pins.
+CORPUS_SEED = 2024
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One point of the differential-fuzzing space (picklable, replayable)."""
+
+    seed: int
+    mix: str
+    mechanism: str
+    nrh: int
+    breakhammer: bool
+    sim_cycles: int
+    warmup_cycles: int = 0
+    instruction_limit: Optional[int] = None
+    entries_per_core: int = 1_200
+    attacker_entries: int = 1_600
+    ranks: int = 2
+    scheduler: str = "frfcfs_cap"
+    time_compression: float = 4.0
+
+    @property
+    def label(self) -> str:
+        """Compact id used by pytest parametrisation and CLI progress."""
+
+        extras = []
+        if self.breakhammer:
+            extras.append("bh")
+        if self.warmup_cycles:
+            extras.append(f"w{self.warmup_cycles}")
+        if self.instruction_limit:
+            extras.append(f"il{self.instruction_limit}")
+        if self.ranks != 2:
+            extras.append(f"r{self.ranks}")
+        suffix = ("-" + "-".join(extras)) if extras else ""
+        return (f"s{self.seed}-{self.mix}-{self.mechanism}"
+                f"-nrh{self.nrh}{suffix}")
+
+    def harness_shaped(self) -> bool:
+        """Whether the experiment harness can express this scenario.
+
+        The serial-vs-parallel executor differential runs scenarios through
+        :class:`repro.analysis.experiments.ExperimentRunner`, whose grid
+        only varies (mix, mechanism, nrh, breakhammer, seed) on top of the
+        default fast-profile machine.
+        """
+
+        return (
+            self.warmup_cycles == 0
+            and self.instruction_limit is None
+            and self.ranks == 2
+            and self.scheduler == "frfcfs_cap"
+            and self.time_compression == 4.0
+            and "D" not in self.mix
+            and len(self.mix) == 4  # the harness machine has four cores
+        )
+
+
+@dataclass(frozen=True)
+class FuzzProfile:
+    """Sampling ranges of one fuzzing campaign."""
+
+    sim_cycles_choices: Tuple[int, ...] = (800, 1_200, 1_600, 2_000)
+    entries_choices: Tuple[int, ...] = (600, 1_200)
+    attacker_entries_choices: Tuple[int, ...] = (800, 1_600)
+    nrh_choices: Tuple[int, ...] = (16, 64, 256, 1_024)
+    max_cores: int = 4
+    trace_seeds: int = 4
+
+    @classmethod
+    def smoke(cls) -> "FuzzProfile":
+        """Small enough for the tier-1 ``fuzz_smoke`` corpus."""
+
+        return cls()
+
+    @classmethod
+    def campaign(cls) -> "FuzzProfile":
+        """Longer runs for offline campaigns (more cycles per scenario)."""
+
+        return cls(
+            sim_cycles_choices=(2_000, 4_000, 6_000, 8_000),
+            entries_choices=(1_200, 2_400),
+            attacker_entries_choices=(1_600, 3_200),
+        )
+
+
+def _sample_mix(rng: random.Random, max_cores: int) -> str:
+    """A mix string over {H, M, L, A, D} with 1..max_cores cores."""
+
+    length = rng.randint(1, max_cores)
+    letters = [rng.choice("HML") for _ in range(length)]
+    if rng.random() < 0.55:
+        letters[rng.randrange(length)] = "A"
+        # Occasionally saturate with a second attacker (back-off storms).
+        if length > 1 and rng.random() < 0.2:
+            letters[rng.randrange(length)] = "A"
+    if rng.random() < 0.3:
+        slots = [i for i, letter in enumerate(letters) if letter != "A"]
+        if slots:
+            letters[rng.choice(slots)] = "D"
+    return "".join(letters)
+
+
+def _sample_scenario(rng: random.Random, index: int,
+                     profile: FuzzProfile) -> Scenario:
+    sim_cycles = rng.choice(profile.sim_cycles_choices)
+    warmup = rng.choice((0, 0, 0, sim_cycles // 4, sim_cycles // 2))
+    limit = rng.choice((None, None, None, 200, 500, 1_500))
+    return Scenario(
+        seed=rng.randrange(profile.trace_seeds),
+        mix=_sample_mix(rng, profile.max_cores),
+        mechanism=FUZZ_MECHANISMS[index % len(FUZZ_MECHANISMS)],
+        nrh=rng.choice(profile.nrh_choices),
+        breakhammer=rng.random() < 0.5,
+        sim_cycles=sim_cycles,
+        warmup_cycles=warmup,
+        instruction_limit=limit,
+        entries_per_core=rng.choice(profile.entries_choices),
+        attacker_entries=rng.choice(profile.attacker_entries_choices),
+        ranks=rng.choice((1, 2, 2)),
+        scheduler=rng.choice(("frfcfs_cap", "frfcfs_cap", "frfcfs", "fcfs")),
+        time_compression=rng.choice((4.0, 4.0, 2.0)),
+    )
+
+
+def generate_scenarios(seed: int, count: int,
+                       profile: Optional[FuzzProfile] = None
+                       ) -> List[Scenario]:
+    """``count`` scenarios drawn deterministically from ``seed``."""
+
+    profile = profile or FuzzProfile.smoke()
+    rng = random.Random(seed)
+    return [_sample_scenario(rng, index, profile) for index in range(count)]
+
+
+def fuzz_corpus(count: int = 30) -> List[Scenario]:
+    """The fixed-seed corpus the ``fuzz_smoke`` pytest tier replays.
+
+    Spans every registered mechanism (``count >= len(FUZZ_MECHANISMS)``),
+    single- to four-core mixes with attackers and DMA streams, both rank
+    geometries, all schedulers, and warmup/instruction-limit combinations.
+    """
+
+    return generate_scenarios(CORPUS_SEED, count, FuzzProfile.smoke())
+
+
+def executor_corpus() -> List[Scenario]:
+    """Harness-shaped scenarios for the serial-vs-parallel differential.
+
+    All share one harness shape (cycle budget, trace sizes, seed) so a
+    single worker pool serves the whole batch; they vary the grid
+    coordinates the sweep executor actually shards.
+    """
+
+    shape = dict(sim_cycles=1_200, entries_per_core=600,
+                 attacker_entries=800, seed=0)
+    grid = [
+        ("MMLA", "para", 64, True),
+        ("HHMA", "graphene", 64, False),
+        ("HMLA", "prac", 16, True),
+        ("HHAA", "rfm", 64, False),
+        ("MMLL", "hydra", 256, True),
+        ("HMML", "none", 1_024, False),
+    ]
+    return [
+        Scenario(mix=mix, mechanism=mechanism, nrh=nrh, breakhammer=bh,
+                 **shape)
+        for mix, mechanism, nrh, bh in grid
+    ]
+
+
+# ---------------------------------------------------------------------- #
+# Scenario -> simulation inputs
+# ---------------------------------------------------------------------- #
+def build_system_config(scenario: Scenario) -> SystemConfig:
+    """The :class:`SystemConfig` a scenario describes.
+
+    Starts from the scaled fast profile (so BreakHammer's window scaling
+    matches the harness) and applies the scenario's machine knobs.
+    """
+
+    config = SystemConfig.fast_profile(
+        mitigation=scenario.mechanism,
+        nrh=scenario.nrh,
+        breakhammer_enabled=scenario.breakhammer,
+        sim_cycles=scenario.sim_cycles,
+        time_compression=scenario.time_compression,
+    )
+    changes = {
+        "num_cores": len(scenario.mix),
+        "scheduler": scenario.scheduler,
+    }
+    if scenario.ranks != config.device.ranks:
+        device = DeviceConfig.ddr5_4800(rows_per_bank=4096,
+                                        ranks=scenario.ranks)
+        if scenario.time_compression != 1.0:
+            device = device.time_compressed(scenario.time_compression)
+        changes["device"] = device
+    return config.with_(**changes)
+
+
+def build_workload(scenario: Scenario,
+                   config: Optional[SystemConfig] = None) -> WorkloadMix:
+    """The workload mix a scenario describes (deterministic from the seed)."""
+
+    config = config or build_system_config(scenario)
+    return make_mix(
+        scenario.mix,
+        device=config.device,
+        mapping=config.mapping,
+        entries_per_core=scenario.entries_per_core,
+        attacker_entries=scenario.attacker_entries,
+        seed=scenario.seed,
+        attacker_config=AttackerConfig(entries=scenario.attacker_entries,
+                                       seed=scenario.seed),
+    )
+
+
+def build_simulation_config(scenario: Scenario,
+                            engine: str) -> SimulationConfig:
+    """The run bounds a scenario describes, for ``engine``."""
+
+    return SimulationConfig(
+        max_cycles=scenario.sim_cycles,
+        engine=engine,
+        instruction_limit=scenario.instruction_limit,
+        warmup_cycles=scenario.warmup_cycles,
+    )
+
+
+def simplifications(scenario: Scenario) -> List[Scenario]:
+    """Strictly simpler variants of ``scenario``, for the shrinker.
+
+    Ordered most-aggressive first: dropping a core removes an entire trace,
+    halving the budget halves the run, and clearing warmup / instruction
+    limit / BreakHammer removes a whole contract dimension.  Machine-shape
+    knobs (scheduler, ranks, compression) are left alone — changing them
+    would change *which* bug is being reproduced.
+    """
+
+    candidates: List[Scenario] = []
+    if len(scenario.mix) > 1:
+        candidates.extend(
+            replace(scenario, mix=scenario.mix[:i] + scenario.mix[i + 1:])
+            for i in range(len(scenario.mix))
+        )
+    if scenario.sim_cycles > 400:
+        shorter = scenario.sim_cycles // 2
+        candidates.append(replace(
+            scenario,
+            sim_cycles=shorter,
+            warmup_cycles=min(scenario.warmup_cycles, shorter // 2),
+        ))
+    if scenario.warmup_cycles:
+        candidates.append(replace(scenario, warmup_cycles=0))
+    if scenario.instruction_limit is not None:
+        candidates.append(replace(scenario, instruction_limit=None))
+    if scenario.breakhammer:
+        candidates.append(replace(scenario, breakhammer=False))
+    if scenario.entries_per_core > 300:
+        candidates.append(replace(
+            scenario, entries_per_core=scenario.entries_per_core // 2))
+    if scenario.attacker_entries > 400:
+        candidates.append(replace(
+            scenario, attacker_entries=scenario.attacker_entries // 2))
+    return candidates

@@ -13,11 +13,13 @@ substitution rationale.
 
 * :mod:`repro.workloads.synthetic` — benign trace generators,
 * :mod:`repro.workloads.attacker` — RowHammer/memory-performance attacker,
+* :mod:`repro.workloads.dma` — DMA-style cache-bypassing streams (§4.4),
 * :mod:`repro.workloads.mixes` — the paper's workload mixes (HHHH … LLLA),
 * :mod:`repro.workloads.characteristics` — Table 3 characterisation.
 """
 
 from repro.workloads.attacker import AttackerConfig, generate_attacker_trace
+from repro.workloads.dma import DmaConfig, generate_dma_trace
 from repro.workloads.characteristics import (
     WorkloadCharacteristics,
     characterize_trace,
@@ -41,6 +43,7 @@ __all__ = [
     "AttackerConfig",
     "BENIGN_MIXES",
     "BenignConfig",
+    "DmaConfig",
     "MemoryIntensity",
     "WorkloadCharacteristics",
     "WorkloadMix",
@@ -48,6 +51,7 @@ __all__ = [
     "characterize_trace",
     "generate_attacker_trace",
     "generate_benign_trace",
+    "generate_dma_trace",
     "make_mix",
     "mix_names",
 ]

@@ -21,6 +21,7 @@ from repro.cpu.trace import Trace
 from repro.dram.address import MappingScheme
 from repro.dram.config import DeviceConfig
 from repro.workloads.attacker import AttackerConfig, generate_attacker_trace
+from repro.workloads.dma import DmaConfig, generate_dma_trace
 from repro.workloads.synthetic import (
     BenignConfig,
     MemoryIntensity,
@@ -91,6 +92,9 @@ def make_mix(
 
     ``name`` is a string of intensity letters (``H``, ``M``, ``L``) with an
     optional trailing/embedded ``A`` for the attacker, e.g. ``"HHMA"``.
+    A ``D`` places a DMA-style cache-bypassing streaming workload (see
+    :mod:`repro.workloads.dma`) on that core; like benign cores it gets its
+    own physical-memory region, and it is *not* an attacker thread.
     ``seed`` varies the benign traces so several instances of the same mix
     (the paper uses 15 per mix) are statistically distinct.
     """
@@ -112,6 +116,15 @@ def make_mix(
             )
             attacker_threads.append(core_index)
             traces.append(trace)
+            continue
+        if letter == "D":
+            trace = generate_dma_trace(
+                DmaConfig(entries=entries_per_core,
+                          seed=seed * 101 + core_index),
+                name=f"D{core_index}_{seed}",
+            )
+            traces.append(offset_trace(trace,
+                                       (core_index + 1) * region_bytes))
             continue
         intensity = MemoryIntensity.from_letter(letter)
         benign_config = BenignConfig.for_intensity(

@@ -37,10 +37,10 @@ def _mix(name: str, config: SystemConfig):
 
 
 def _run(engine: str, mix_name: str, mechanism: str, breakhammer: bool,
-         instruction_limit=None, warmup_cycles=0):
+         instruction_limit=None, warmup_cycles=0, nrh=64):
     config = SystemConfig.fast_profile(
         mitigation=mechanism,
-        nrh=64,
+        nrh=nrh,
         breakhammer_enabled=breakhammer,
         sim_cycles=SIM_CYCLES,
     )
@@ -58,11 +58,11 @@ def _run(engine: str, mix_name: str, mechanism: str, breakhammer: bool,
 
 
 def _assert_identical(mix_name: str, mechanism: str, breakhammer: bool,
-                      instruction_limit=None, warmup_cycles=0):
+                      instruction_limit=None, warmup_cycles=0, nrh=64):
     cycle_result, _ = _run("cycle", mix_name, mechanism, breakhammer,
-                           instruction_limit, warmup_cycles)
+                           instruction_limit, warmup_cycles, nrh)
     fast_result, fast_sim = _run("fast", mix_name, mechanism, breakhammer,
-                                 instruction_limit, warmup_cycles)
+                                 instruction_limit, warmup_cycles, nrh)
     assert dataclasses.asdict(cycle_result.stats) == \
         dataclasses.asdict(fast_result.stats)
     assert cycle_result.finished_by_instruction_limit == \
@@ -141,6 +141,56 @@ class TestEngineEquivalence:
             "MMLL", "none", False, instruction_limit=2_000
         )
         assert cycle_result.finished_by_instruction_limit
+        assert cycle_result.stats.cycles == fast_result.stats.cycles
+
+    def test_prac_backoff_storm(self):
+        """Saturated attackers driving repeated alert_n back-offs.
+
+        A four-attacker mix at a tiny threshold forces PRAC's back-off
+        servicing over and over; every back-off blocks the bank with RFM
+        commands, perturbing the controller's timing state the fast engine
+        must reproduce exactly.  This was one of the two contract gaps
+        ROADMAP listed as unproven.
+        """
+
+        cycle_result, _, _ = _assert_identical("AAAA", "prac", False, nrh=32)
+        stats = cycle_result.stats.mitigation_stats
+        # The storm really happened: dozens of back-offs, not a couple.
+        assert stats["backoffs"] > 30
+        assert cycle_result.stats.preventive_actions > 30
+
+    def test_prac_backoff_storm_with_breakhammer(self):
+        """The same storm with BreakHammer scoring every back-off."""
+
+        cycle_result, _, _ = _assert_identical("HHAA", "prac", True, nrh=32)
+        assert cycle_result.stats.mitigation_stats["backoffs"] > 10
+        assert cycle_result.stats.breakhammer_stats is not None
+
+    def test_instruction_limit_after_warmup(self):
+        """Limit crossed *after* the warmup boundary: both observation
+        points land on simulated ticks and the warmup baseline is
+        subtracted identically — the other contract gap ROADMAP named."""
+
+        cycle_result, fast_result, _ = _assert_identical(
+            "MMLL", "none", False, instruction_limit=8_000,
+            warmup_cycles=1_500,
+        )
+        assert cycle_result.finished_by_instruction_limit
+        # The run crossed the warmup boundary before stopping, so the
+        # measured interval is the post-warmup remainder on both engines.
+        assert cycle_result.stats.cycles > 1_500
+        assert cycle_result.stats.cycles == fast_result.stats.cycles
+
+    def test_instruction_limit_before_warmup(self):
+        """Limit crossed *before* the warmup boundary: the snapshot never
+        happens and both engines must report the full (short) run."""
+
+        cycle_result, fast_result, _ = _assert_identical(
+            "MMLL", "none", False, instruction_limit=400,
+            warmup_cycles=5_500,
+        )
+        assert cycle_result.finished_by_instruction_limit
+        assert cycle_result.stats.cycles < 5_500
         assert cycle_result.stats.cycles == fast_result.stats.cycles
 
     def test_fast_engine_skips_idle_cycles(self):

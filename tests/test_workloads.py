@@ -15,6 +15,7 @@ from repro.workloads.characteristics import (
     characterize_suite,
     characterize_trace,
 )
+from repro.workloads.dma import DmaConfig, generate_dma_trace
 from repro.workloads.mixes import (
     ATTACK_MIXES,
     BENIGN_MIXES,
@@ -175,6 +176,59 @@ class TestMixes:
                                 entries_per_core=100, attacker_entries=100)
         assert set(result) == set(ATTACK_MIXES)
         assert all(len(v) == 1 for v in result.values())
+
+    def test_dma_letter_places_stream_in_own_region(self):
+        mix = make_mix("HDMA", device=DEVICE, entries_per_core=400,
+                       attacker_entries=400, region_bytes=1 << 26)
+        assert mix.attacker_threads == [3]  # D is not an attacker
+        dma_trace = mix.traces[1]
+        assert dma_trace.name == "D1_0"
+        assert len(dma_trace) == 400
+        # Every access bypasses the cache, and the stream lives in core 1's
+        # region (disjoint from core 0's, like any benign process).
+        assert all(entry.bypass_cache for entry in dma_trace)
+        addresses = [entry.address for entry in dma_trace]
+        assert min(addresses) >= 2 * (1 << 26)
+        assert max(addresses) < 3 * (1 << 26)
+
+
+class TestDmaGeneration:
+    def test_streaming_bursts_and_write_mix(self):
+        trace = generate_dma_trace(DmaConfig(entries=64, burst_lines=8,
+                                             gap_bubbles=5, seed=1))
+        assert len(trace) == 64
+        # Intra-burst accesses are back to back; burst starts carry the gap.
+        assert trace[0].bubble_count == 0
+        assert trace[8].bubble_count == 5
+        assert trace[9].bubble_count == 0
+        # Consecutive accesses stream through adjacent cachelines.
+        assert trace[1].address - trace[0].address == 64
+        assert 0.0 < trace.write_fraction < 1.0
+
+    def test_pure_fill_and_pure_copy_streams(self):
+        fill = generate_dma_trace(DmaConfig(entries=32, write_fraction=1.0))
+        copy = generate_dma_trace(DmaConfig(entries=32, write_fraction=0.0))
+        assert fill.write_fraction == 1.0
+        assert copy.write_fraction == 0.0
+
+    def test_deterministic_from_seed(self):
+        a = generate_dma_trace(DmaConfig(entries=100, seed=3))
+        b = generate_dma_trace(DmaConfig(entries=100, seed=3))
+        c = generate_dma_trace(DmaConfig(entries=100, seed=4))
+        assert [e.address for e in a] == [e.address for e in b]
+        assert [e.address for e in a] != [e.address for e in c]
+
+    @pytest.mark.parametrize("bad", [
+        dict(entries=0),
+        dict(burst_lines=0),
+        dict(cacheline_bytes=0),
+        dict(gap_bubbles=-1),
+        dict(buffer_bytes=32),
+        dict(write_fraction=1.5),
+    ], ids=["entries", "burst", "cacheline", "gap", "buffer", "writes"])
+    def test_invalid_configs_rejected(self, bad):
+        with pytest.raises(ValueError):
+            DmaConfig(**bad)
 
 
 class TestCharacterisation:
