@@ -59,7 +59,7 @@ if str(_SRC) not in sys.path:
 
 from repro.analysis.experiments import ExperimentRunner, HarnessConfig  # noqa: E402
 from repro.analysis.report import render_figure, render_table  # noqa: E402
-from repro.sim.config import SIMULATION_ENGINES  # noqa: E402
+from repro.api.session import resolve_engine  # noqa: E402
 
 
 def _profile() -> HarnessConfig:
@@ -70,11 +70,10 @@ def _profile() -> HarnessConfig:
         config = HarnessConfig.smoke()
     else:
         config = HarnessConfig.fast()
-    engine = os.environ.get("REPRO_ENGINE", config.engine).lower()
-    if engine not in SIMULATION_ENGINES:
-        raise ValueError(
-            f"REPRO_ENGINE={engine!r} is not one of {SIMULATION_ENGINES}"
-        )
+    # Engine precedence lives in one place (repro.api.session); the
+    # harness profiles leave `engine` at its default, so REPRO_ENGINE
+    # applies unless a profile ever pins one explicitly.
+    engine = resolve_engine(None)
     # jobs=0 / cache_dir=None defer to REPRO_JOBS / REPRO_CACHE_DIR inside
     # the runner; the explicit replace keeps the wiring visible here.
     return dataclasses.replace(config, engine=engine, jobs=0, cache_dir=None)

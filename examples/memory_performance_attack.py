@@ -8,47 +8,60 @@ benign applications sharing the memory system.  The script sweeps the
 RowHammer threshold and shows how the attack's damage grows as DRAM becomes
 more vulnerable — and how BreakHammer contains it.
 
+The N_RH sweep is declared as an :class:`~repro.api.ExperimentSpec` and
+submitted through a :class:`~repro.api.Session` as one batch of futures.
+
 Run with:  python examples/memory_performance_attack.py
+Set ``REPRO_EXAMPLE_SCALE=tiny`` for a seconds-scale run.
 """
 
+import os
 import sys
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro import SimulationConfig, Simulator, SystemConfig, make_mix
+from repro.api import ExperimentSpec, RunPoint, Session
 
-CYCLES = 16_000
+TINY = os.environ.get("REPRO_EXAMPLE_SCALE", "") == "tiny"
+
 MECHANISM = "rfm"
-NRH_SWEEP = (4096, 1024, 256, 64)
+MIX = "HHMA"
+NRH_SWEEP = (1024, 64) if TINY else (4096, 1024, 256, 64)
 
-
-def run(nrh: int, breakhammer: bool):
-    config = SystemConfig.fast_profile(
-        mitigation=MECHANISM, nrh=nrh, breakhammer_enabled=breakhammer,
-        sim_cycles=CYCLES,
-    )
-    mix = make_mix("HHMA", device=config.device, entries_per_core=4000,
-                   attacker_entries=8000)
-    simulator = Simulator(config, mix.traces,
-                          SimulationConfig(max_cycles=CYCLES),
-                          attacker_threads=mix.attacker_threads)
-    stats = simulator.run().stats
-    benign = sum(stats.ipc_by_thread[t] for t in mix.benign_threads)
-    return benign, stats.preventive_actions
+SPEC = ExperimentSpec(
+    sim_cycles=1_200 if TINY else 16_000,
+    entries_per_core=500 if TINY else 4_000,
+    attacker_entries=700 if TINY else 8_000,
+    nrh_sweep=NRH_SWEEP,
+    attack_mixes=(MIX,),
+    benign_mixes=("HHMM",),
+    mechanisms=(MECHANISM,),
+)
 
 
 def main() -> None:
-    print(f"Mechanism: {MECHANISM} | mix HHMA | {CYCLES} cycles per point\n")
+    print(f"Mechanism: {MECHANISM} | mix {MIX} | "
+          f"{SPEC.sim_cycles} cycles per point\n")
     print(f"{'N_RH':>6s} {'benign IPC':>12s} {'benign IPC+BH':>14s} "
           f"{'actions':>9s} {'actions+BH':>11s} {'BH gain':>8s}")
-    no_attack_reference = None
-    for nrh in NRH_SWEEP:
-        benign, actions = run(nrh, breakhammer=False)
-        benign_bh, actions_bh = run(nrh, breakhammer=True)
-        gain = 100.0 * (benign_bh / max(1e-9, benign) - 1.0)
-        print(f"{nrh:6d} {benign:12.3f} {benign_bh:14.3f} "
-              f"{actions:9d} {actions_bh:11d} {gain:7.1f}%")
+    with Session(SPEC) as session:
+        mix = session.runner.mix(MIX)
+        # The whole sweep is in flight before the first row prints.
+        handles = {
+            (nrh, bh): session.submit_point(RunPoint(MIX, MECHANISM, nrh, bh))
+            for nrh in NRH_SWEEP for bh in (False, True)
+        }
+        for nrh in NRH_SWEEP:
+            plain = handles[(nrh, False)].result()
+            paired = handles[(nrh, True)].result()
+            benign = sum(plain.ipc_by_thread[t] for t in mix.benign_threads)
+            benign_bh = sum(paired.ipc_by_thread[t]
+                            for t in mix.benign_threads)
+            gain = 100.0 * (benign_bh / max(1e-9, benign) - 1.0)
+            print(f"{nrh:6d} {benign:12.3f} {benign_bh:14.3f} "
+                  f"{plain.preventive_actions:9d} "
+                  f"{paired.preventive_actions:11d} {gain:7.1f}%")
     print("\nAs N_RH decreases the mitigation performs more preventive work,"
           "\nthe attacker's leverage grows, and BreakHammer's benefit grows "
           "with it.")

@@ -2,59 +2,78 @@
 """Scenario: choosing a RowHammer mitigation for a multi-tenant server.
 
 A cloud operator deploying a DDR5 system needs to pick a RowHammer
-mitigation mechanism.  This script compares all eight mechanisms from the
-paper — each with and without BreakHammer — under a tenant mix that includes
-a hostile co-tenant, reporting benign throughput, preventive-action counts
-and DRAM energy, i.e. the quantities behind the paper's Figs. 8, 10 and 12.
+mitigation mechanism.  This script compares the paper's mechanisms — each
+with and without BreakHammer — under a tenant mix that includes a hostile
+co-tenant, reporting benign throughput, preventive-action counts and DRAM
+energy, i.e. the quantities behind the paper's Figs. 8, 10 and 12.
+
+The whole comparison grid is submitted as ``repro.api`` futures up front
+and consumed in completion order: on a parallel session the table fills
+as worker processes finish, not mechanism by mechanism.
 
 Run with:  python examples/mitigation_comparison.py
+Set ``REPRO_EXAMPLE_SCALE=tiny`` for a seconds-scale run.
 """
 
+import os
 import sys
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro import PAIRED_MECHANISMS, SimulationConfig, Simulator, SystemConfig, make_mix
+from repro.api import ExperimentSpec, RunPoint, Session, iter_completed
 
-CYCLES = 14_000
+TINY = os.environ.get("REPRO_EXAMPLE_SCALE", "") == "tiny"
+
 NRH = 128
+MIX = "HMLA"
+MECHANISMS = ("para", "graphene", "rfm") if TINY else (
+    "para", "graphene", "hydra", "twice", "aqua", "rega", "rfm", "prac")
 
-
-def run(mechanism: str, breakhammer: bool):
-    config = SystemConfig.fast_profile(
-        mitigation=mechanism, nrh=NRH, breakhammer_enabled=breakhammer,
-        sim_cycles=CYCLES,
-    )
-    mix = make_mix("HMLA", device=config.device, entries_per_core=3500,
-                   attacker_entries=7000)
-    simulator = Simulator(config, mix.traces,
-                          SimulationConfig(max_cycles=CYCLES),
-                          attacker_threads=mix.attacker_threads)
-    stats = simulator.run().stats
-    benign = sum(stats.ipc_by_thread[t] for t in mix.benign_threads)
-    return {
-        "benign_ipc": benign,
-        "actions": stats.preventive_actions,
-        "energy_mj": stats.energy_mj,
-    }
+SPEC = ExperimentSpec(
+    sim_cycles=1_200 if TINY else 14_000,
+    entries_per_core=500 if TINY else 3_500,
+    attacker_entries=700 if TINY else 7_000,
+    nrh_sweep=(NRH,),
+    attack_mixes=(MIX,),
+    benign_mixes=("HMLL",),
+    mechanisms=MECHANISMS,
+)
 
 
 def main() -> None:
-    print(f"Tenant mix HMLA (hostile co-tenant), N_RH={NRH}, "
-          f"{CYCLES} cycles per configuration\n")
+    print(f"Tenant mix {MIX} (hostile co-tenant), N_RH={NRH}, "
+          f"{SPEC.sim_cycles} cycles per configuration\n")
+    grid = [RunPoint(MIX, "none", NRH, False)] + [
+        RunPoint(MIX, mechanism, NRH, breakhammer)
+        for mechanism in MECHANISMS
+        for breakhammer in (False, True)
+    ]
+    results = {}
+    with Session(SPEC, jobs=None if TINY else 2) as session:
+        mix = session.runner.mix(MIX)
+        for handle in iter_completed(session.submit_grid(grid)):
+            stats = handle.result()
+            _mix_name, _seed, mechanism, _nrh, breakhammer = handle.key[:5]
+            benign = sum(stats.ipc_by_thread[t] for t in mix.benign_threads)
+            results[(mechanism, breakhammer)] = {
+                "benign_ipc": benign,
+                "actions": stats.preventive_actions,
+                "energy_mj": stats.energy_mj,
+            }
+
     header = (f"{'mechanism':>10s} | {'benign IPC':>10s} {'+BH':>7s} | "
               f"{'actions':>8s} {'+BH':>6s} | {'energy mJ':>9s} {'+BH':>7s}")
     print(header)
     print("-" * len(header))
-    baseline = run("none", False)
-    for mechanism in PAIRED_MECHANISMS:
-        plain = run(mechanism, False)
-        paired = run(mechanism, True)
+    for mechanism in MECHANISMS:
+        plain = results[(mechanism, False)]
+        paired = results[(mechanism, True)]
         print(f"{mechanism:>10s} | {plain['benign_ipc']:10.3f} "
               f"{paired['benign_ipc']:7.3f} | {plain['actions']:8d} "
               f"{paired['actions']:6d} | {plain['energy_mj']:9.4f} "
               f"{paired['energy_mj']:7.4f}")
+    baseline = results[("none", False)]
     print("-" * len(header))
     print(f"{'no defense':>10s} | {baseline['benign_ipc']:10.3f} {'-':>7s} | "
           f"{baseline['actions']:8d} {'-':>6s} | "

@@ -4,69 +4,79 @@
 Builds a four-core system (three benign applications + one RowHammer
 attacker), attaches the DDR5 Refresh-Management (RFM) mitigation at a low
 RowHammer threshold, and compares benign performance with and without
-BreakHammer.
+BreakHammer — through the declarative ``repro.api`` surface: an
+:class:`~repro.api.ExperimentSpec` describes the experiment, a
+:class:`~repro.api.Session` owns execution, and each configuration is a
+:class:`~repro.api.RunHandle` future.
 
 Run with:  python examples/quickstart.py
+(or, like every example:  python -m repro.api examples)
+
+Set ``REPRO_EXAMPLE_SCALE=tiny`` for a seconds-scale run (what the
+``examples_smoke`` pytest tier and ``python -m repro.api examples`` use).
 """
 
+import os
 import sys
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro import SimulationConfig, Simulator, SystemConfig, make_mix
+from repro.api import ExperimentSpec, Session
 
-CYCLES = 20_000
-NRH = 256
+TINY = os.environ.get("REPRO_EXAMPLE_SCALE", "") == "tiny"
+
 MECHANISM = "rfm"
+NRH = 256
+MIX = "HHMA"
 
-
-def run(breakhammer_enabled: bool):
-    config = SystemConfig.fast_profile(
-        mitigation=MECHANISM,
-        nrh=NRH,
-        breakhammer_enabled=breakhammer_enabled,
-        sim_cycles=CYCLES,
-    )
-    mix = make_mix("HHMA", device=config.device, entries_per_core=5000,
-                   attacker_entries=10_000)
-    simulator = Simulator(config, mix.traces,
-                          SimulationConfig(max_cycles=CYCLES),
-                          attacker_threads=mix.attacker_threads)
-    result = simulator.run()
-    return result.stats, mix
+SPEC = ExperimentSpec(
+    sim_cycles=1_500 if TINY else 20_000,
+    entries_per_core=600 if TINY else 5_000,
+    attacker_entries=800 if TINY else 10_000,
+    nrh_sweep=(NRH,),
+    attack_mixes=(MIX,),
+    benign_mixes=("HHMM",),
+    mechanisms=(MECHANISM,),
+)
 
 
 def main() -> None:
-    print(f"{MECHANISM.upper()} at N_RH={NRH}, mix HHMA (3 benign + 1 attacker), "
-          f"{CYCLES} controller cycles\n")
-    baseline, mix = run(breakhammer_enabled=False)
-    with_bh, _ = run(breakhammer_enabled=True)
+    print(f"{MECHANISM.upper()} at N_RH={NRH}, mix {MIX} "
+          f"(3 benign + 1 attacker), {SPEC.sim_cycles} controller cycles\n")
+    with Session(SPEC) as session:
+        # Two futures; on a parallel session (jobs=2) they run concurrently.
+        handle_base = session.submit(MIX, MECHANISM, NRH, breakhammer=False)
+        handle_bh = session.submit(MIX, MECHANISM, NRH, breakhammer=True)
+        baseline = handle_base.result()
+        with_bh = handle_bh.result()
+        mix = session.runner.mix(MIX)
 
-    def benign_ipc(stats):
-        return sum(stats.ipc_by_thread[t] for t in mix.benign_threads)
+        def benign_ipc(stats):
+            return sum(stats.ipc_by_thread[t] for t in mix.benign_threads)
 
-    print(f"{'':32s}{'without BH':>14s}{'with BH':>14s}")
-    print(f"{'benign IPC (sum)':32s}{benign_ipc(baseline):14.3f}"
-          f"{benign_ipc(with_bh):14.3f}")
-    print(f"{'attacker IPC':32s}{baseline.ipc_by_thread[3]:14.3f}"
-          f"{with_bh.ipc_by_thread[3]:14.3f}")
-    print(f"{'preventive actions':32s}{baseline.preventive_actions:14d}"
-          f"{with_bh.preventive_actions:14d}")
-    print(f"{'mean benign read latency (cyc)':32s}"
-          f"{baseline.mean_read_latency():14.1f}"
-          f"{with_bh.mean_read_latency():14.1f}")
-    print(f"{'DRAM energy (mJ)':32s}{baseline.energy_mj:14.4f}"
-          f"{with_bh.energy_mj:14.4f}")
+        attacker = mix.attacker_threads[0]
+        print(f"{'':32s}{'without BH':>14s}{'with BH':>14s}")
+        print(f"{'benign IPC (sum)':32s}{benign_ipc(baseline):14.3f}"
+              f"{benign_ipc(with_bh):14.3f}")
+        print(f"{'attacker IPC':32s}{baseline.ipc_by_thread[attacker]:14.3f}"
+              f"{with_bh.ipc_by_thread[attacker]:14.3f}")
+        print(f"{'preventive actions':32s}{baseline.preventive_actions:14d}"
+              f"{with_bh.preventive_actions:14d}")
+        print(f"{'mean benign read latency (cyc)':32s}"
+              f"{baseline.mean_read_latency():14.1f}"
+              f"{with_bh.mean_read_latency():14.1f}")
+        print(f"{'DRAM energy (mJ)':32s}{baseline.energy_mj:14.4f}"
+              f"{with_bh.energy_mj:14.4f}")
 
-    bh = with_bh.breakhammer_stats
-    print("\nBreakHammer view:")
-    print("  suspect detections per thread:",
-          bh["stats"]["suspects_by_thread"])
-    print("  final MSHR quotas            :",
-          {t["thread_id"]: t["quota"] for t in bh["throttler"]["threads"]})
-    speedup = benign_ipc(with_bh) / max(1e-9, benign_ipc(baseline)) - 1.0
-    print(f"\nBenign speedup from BreakHammer: {100 * speedup:.1f}%")
+        bh = with_bh.breakhammer_stats
+        print("\nBreakHammer view:")
+        print("  suspect detections per thread:",
+              bh["stats"]["suspects_by_thread"])
+        print("  final MSHR quotas            :",
+              {t["thread_id"]: t["quota"] for t in bh["throttler"]["threads"]})
+        speedup = benign_ipc(with_bh) / max(1e-9, benign_ipc(baseline)) - 1.0
+        print(f"\nBenign speedup from BreakHammer: {100 * speedup:.1f}%")
 
 
 if __name__ == "__main__":

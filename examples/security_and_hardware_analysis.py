@@ -6,7 +6,9 @@ wants to know (1) how much a coordinated multi-threaded adversary could still
 hog preventive actions without being detected (paper §5.2 / Fig. 5) and
 (2) what the mechanism costs in storage, area, and latency (paper §6).
 
-Both analyses are closed-form, so this example runs instantly.
+Both analyses are closed-form, so this example runs instantly; the Fig. 5
+bound and the hardware table come straight from a :class:`repro.api.Session`
+(they are spec artefacts like any sweep figure, just with empty run grids).
 
 Run with:  python examples/security_and_hardware_analysis.py
 """
@@ -16,40 +18,39 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro import SecurityAnalysis, max_attacker_score_ratio
+from repro.api import ExperimentSpec, Session
 from repro.core.hardware_model import HardwareCostModel
+from repro.core.security import max_attacker_score_ratio
 from repro.dram.config import DeviceConfig
 
 
-def security_section() -> None:
+def security_section(session: Session) -> None:
     print("=== Security: the Expression-2 bound (Fig. 5) ===\n")
-    analysis = SecurityAnalysis()
-    percentages = list(range(0, 101, 10))
+    figure = session.figure("fig5")
     print("max undetected attacker score / benign average score")
     print(f"{'attacker threads':>18s}", end="")
     for th in (0.05, 0.35, 0.65, 0.95):
         print(f"  TH={th:4.2f}", end="")
     print()
-    for pct in percentages:
+    for pct in figure.x_values:
         print(f"{pct:17d}%", end="")
         for th in (0.05, 0.35, 0.65, 0.95):
             ratio = max_attacker_score_ratio(pct / 100.0, th)
             text = "  inf  " if ratio == float("inf") else f"{ratio:7.2f}"
             print(text, end="")
         print()
-    print("\nPaper observations reproduced exactly:")
-    print(f"  50% threads, TH_outlier=0.65 -> "
-          f"{analysis.paper_observation_50pct():.2f}x (paper: 4.71x)")
-    print(f"  90% threads, TH_outlier=0.05 -> "
-          f"{analysis.paper_observation_90pct():.2f}x (paper: 1.90x)")
-    share = analysis.minimum_attacker_share_for_ratio(2.0, 0.05)
-    print(f"  threads needed to double benign action count at TH=0.05: "
-          f"{100 * share:.0f}% (paper: ~90%)")
+    print(f"\nFigure series reproduced through the API: "
+          f"{', '.join(figure.labels())}")
 
 
-def hardware_section() -> None:
+def hardware_section(session: Session) -> None:
     print("\n=== Hardware cost (§6) ===\n")
-    for threads, channels in ((4, 1), (16, 2), (64, 8)):
+    table = session.table("hw")
+    print(f"{table.title} (4 threads x 1 channel):")
+    for row in table.rows:
+        print(f"  {row['quantity']}: {row['value']}")
+    print("\nScaling:")
+    for threads, channels in ((16, 2), (64, 8)):
         model = HardwareCostModel(num_threads=threads, channels=channels,
                                   device_config=DeviceConfig.ddr5_4800())
         report = model.report()
@@ -63,8 +64,10 @@ def hardware_section() -> None:
 
 
 def main() -> None:
-    security_section()
-    hardware_section()
+    # Both artefacts are closed-form: the tiny spec never simulates.
+    with Session(ExperimentSpec.tiny()) as session:
+        security_section(session)
+        hardware_section(session)
 
 
 if __name__ == "__main__":

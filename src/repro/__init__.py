@@ -12,13 +12,17 @@ Top-level convenience imports cover the most common entry points::
         SystemConfig, SimulationConfig,       # system description
         Simulator,                            # run a simulation
         make_mix,                             # build workload mixes
-        ExperimentRunner, HarnessConfig,      # regenerate paper figures
+        ExperimentSpec, Session,              # declarative sweeps (repro.api)
+        ExperimentRunner, HarnessConfig,      # legacy figure harness (shim)
     )
 
-See README.md for a quickstart and DESIGN.md for the system inventory.
+See README.md for a quickstart and DESIGN.md for the system inventory; the
+declarative experiment surface lives in :mod:`repro.api`
+(``python -m repro.api run <spec.toml>``).
 """
 
 from repro.analysis.experiments import ExperimentRunner, HarnessConfig
+from repro.api import ExperimentSpec, RunPoint, Session
 from repro.core.breakhammer import BreakHammer, BreakHammerConfig
 from repro.core.security import SecurityAnalysis, max_attacker_score_ratio
 from repro.dram.config import DeviceConfig
@@ -39,8 +43,11 @@ __all__ = [
     "BreakHammerConfig",
     "DeviceConfig",
     "ExperimentRunner",
+    "ExperimentSpec",
     "HarnessConfig",
     "NRH_SWEEP",
+    "RunPoint",
+    "Session",
     "PAIRED_MECHANISMS",
     "SecurityAnalysis",
     "SimulationConfig",

@@ -1,13 +1,27 @@
-"""Experiment harness and reporting utilities."""
+"""Experiment harness and reporting utilities.
+
+This package is the engine room; the stable public surface is
+:mod:`repro.api` (declarative :class:`~repro.api.ExperimentSpec` +
+futures-based :class:`~repro.api.Session`).  ``ExperimentRunner`` /
+``HarnessConfig`` remain as deprecation shims over the same engine.
+"""
 
 from repro.analysis.executor import (
     ProcessPoolSweepExecutor,
+    RunHandle,
     RunTask,
     SerialSweepExecutor,
     SweepExecutor,
+    SweepPlan,
+    iter_completed,
     resolve_jobs,
 )
-from repro.analysis.experiments import ExperimentRunner, HarnessConfig
+from repro.analysis.experiments import (
+    FIGURES,
+    TABLES,
+    ExperimentRunner,
+    HarnessConfig,
+)
 from repro.analysis.runcache import RunCache
 from repro.analysis.figures import (
     ComparisonEntry,
@@ -25,16 +39,21 @@ from repro.analysis.report import (
 __all__ = [
     "ComparisonEntry",
     "ExperimentRunner",
+    "FIGURES",
     "FigureData",
     "FigureSeries",
     "HarnessConfig",
     "ProcessPoolSweepExecutor",
     "RunCache",
+    "RunHandle",
     "RunTask",
     "SerialSweepExecutor",
     "SweepExecutor",
+    "SweepPlan",
+    "TABLES",
     "TableData",
     "figure_summary",
+    "iter_completed",
     "render_comparisons",
     "render_figure",
     "render_table",

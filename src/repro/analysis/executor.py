@@ -15,12 +15,27 @@ executed:
   never shipped by value.  Only the picklable
   :class:`~repro.sim.stats.RunStatistics` results travel back.
 
+Two dispatch styles share the backends:
+
+* :meth:`SweepExecutor.execute` — the legacy batch barrier: every task
+  completes before the call returns, in task order;
+* :meth:`SweepExecutor.submit` — the futures path behind
+  :class:`repro.api.Session`: each task returns a future immediately, so
+  callers can overlap aggregation with execution and consume results in
+  completion order.  On the serial backend the future is lazy (the task
+  runs when its result is first demanded), preserving the reference
+  serial execution order.
+
 Simulations are deterministic functions of their configuration, so a
-parallel sweep produces results bit-identical to a serial one
-(``tests/test_sweep_executor.py`` pins this contract).
+parallel sweep produces results bit-identical to a serial one, and the
+futures path bit-identical to the batch path
+(``tests/test_sweep_executor.py`` / ``tests/test_api_session.py`` pin
+these contracts).
 
 Worker count selection: ``HarnessConfig.jobs`` when positive, else the
-``REPRO_JOBS`` environment variable, else 1 (serial).
+``REPRO_JOBS`` environment variable, else 1 (serial); the one documented
+resolution point for every execution knob is
+:func:`repro.api.session.resolve_execution`.
 """
 
 from __future__ import annotations
@@ -28,8 +43,8 @@ from __future__ import annotations
 import dataclasses
 import os
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
 
 #: Environment variable selecting the sweep worker count.
 JOBS_ENV = "REPRO_JOBS"
@@ -64,6 +79,141 @@ class AloneResult:
     trace_name: str
     trace_length: int
     ipc: float
+
+
+@dataclass(frozen=True)
+class SweepPlan:
+    """The declarative run grid behind one figure (or any sweep).
+
+    ``runs`` lists (mix, mechanism, nrh, breakhammer) grid points,
+    ``alone_mixes`` names the mixes whose per-trace standalone-IPC
+    baselines the aggregation needs, and ``meta`` records the resolved
+    figure parameters (mechanism list, sweep, …) so the aggregation code
+    and the grid definition can never drift apart: both read the same
+    plan.  Plans are what :class:`repro.api.Session` submits as futures
+    and what the legacy batch ``prefetch`` executes behind each
+    ``figureN`` method.
+    """
+
+    figure_id: str
+    runs: Tuple[Tuple[str, str, int, bool], ...] = ()
+    alone_mixes: Tuple[str, ...] = ()
+    seed: int = 0
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def empty(self) -> bool:
+        return not self.runs and not self.alone_mixes
+
+
+class RunHandle:
+    """A future-backed subscription to one submitted sweep task.
+
+    Handles are what figures (and any other consumer) subscribe to:
+    ``result()`` blocks until the task's outcome is available, merges it
+    into the owning runner's caches exactly once, and returns it.  A
+    handle over an already-cached point is born completed.  The outcome is
+    a :class:`repro.sim.stats.RunStatistics` for grid runs and an
+    :class:`AloneResult` for standalone-IPC baselines.
+    """
+
+    __slots__ = ("task", "key", "_future", "_merge", "_merged", "_outcome")
+
+    def __init__(self, task: Optional[RunTask], key, future,
+                 merge=None) -> None:
+        self.task = task
+        self.key = key
+        self._future = future
+        self._merge = merge
+        self._merged = False
+        self._outcome = None
+
+    @classmethod
+    def completed(cls, key, outcome) -> "RunHandle":
+        """A handle born resolved (the point was already cached)."""
+
+        handle = cls(task=None, key=key, future=None)
+        handle._outcome = outcome
+        handle._merged = True
+        return handle
+
+    @property
+    def cached(self) -> bool:
+        """Whether this handle was served from a cache at submission."""
+
+        return self.task is None
+
+    def done(self) -> bool:
+        return self._future is None or self._future.done()
+
+    def result(self, timeout: Optional[float] = None):
+        if self._future is not None:
+            self._outcome = self._future.result(timeout)
+            self._future = None
+        if not self._merged:
+            if self._merge is not None:
+                self._merge(self._outcome)
+            self._merged = True
+        return self._outcome
+
+
+def iter_completed(handles: Sequence[RunHandle]):
+    """Yield handles roughly in completion order.
+
+    Pool-backed handles are yielded as their futures complete (the
+    streaming path: aggregation overlaps execution); cached and lazy
+    serial handles are yielded first, in submission order — on the serial
+    backend that *is* the reference execution order.  Every handle is
+    yielded exactly once.
+    """
+
+    from concurrent.futures import Future, as_completed
+
+    pooled = {}
+    immediate: List[RunHandle] = []
+    for handle in handles:
+        future = handle._future
+        if isinstance(future, Future):
+            pooled[future] = handle
+        else:
+            immediate.append(handle)
+    for handle in immediate:
+        yield handle
+    for future in as_completed(pooled):
+        yield pooled[future]
+
+
+class _LazyFuture:
+    """A future that evaluates its thunk on first ``result()`` demand.
+
+    The serial executor hands these out from :meth:`submit` so that a
+    "streamed" serial sweep still executes tasks one at a time, in the
+    order their results are consumed — the reference behaviour — while
+    presenting the same future interface as the process pool.
+    """
+
+    __slots__ = ("_thunk", "_outcome", "_error", "_done")
+
+    def __init__(self, thunk) -> None:
+        self._thunk = thunk
+        self._outcome = None
+        self._error: Optional[BaseException] = None
+        self._done = False
+
+    def result(self, timeout: Optional[float] = None):
+        if not self._done:
+            try:
+                self._outcome = self._thunk()
+            except BaseException as exc:  # noqa: BLE001 - future semantics
+                self._error = exc
+            self._done = True
+            self._thunk = None
+        if self._error is not None:
+            raise self._error
+        return self._outcome
+
+    def done(self) -> bool:
+        return self._done
 
 
 def evaluate_task(runner, task: RunTask):
@@ -104,6 +254,17 @@ class SweepExecutor:
     def execute(self, tasks: Sequence[RunTask]) -> List[object]:
         raise NotImplementedError
 
+    def submit(self, task: RunTask):
+        """Dispatch one task, returning a future-like object.
+
+        The returned object offers ``result()`` / ``done()``.  Process
+        pools return real :class:`concurrent.futures.Future` instances
+        (tasks run eagerly in workers); the serial backend returns a
+        :class:`_LazyFuture` that executes on demand.
+        """
+
+        raise NotImplementedError
+
     def close(self) -> None:
         """Release any pooled resources (idempotent)."""
 
@@ -116,6 +277,9 @@ class SerialSweepExecutor(SweepExecutor):
 
     def execute(self, tasks: Sequence[RunTask]) -> List[object]:
         return [evaluate_task(self._runner, task) for task in tasks]
+
+    def submit(self, task: RunTask) -> _LazyFuture:
+        return _LazyFuture(lambda: evaluate_task(self._runner, task))
 
 
 # ---------------------------------------------------------------------- #
@@ -167,6 +331,9 @@ class ProcessPoolSweepExecutor(SweepExecutor):
         # chunksize=1: grid points cost seconds each, so fine-grained
         # dispatch load-balances better than chunking.
         return list(pool.map(_worker_execute, tasks, chunksize=1))
+
+    def submit(self, task: RunTask):
+        return self._ensure_pool().submit(_worker_execute, task)
 
     def close(self) -> None:
         if self._pool is not None:

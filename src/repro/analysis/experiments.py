@@ -7,6 +7,17 @@ baselines, and exposes ``figure2()`` … ``figure19()``, ``table1()`` …
 :class:`repro.analysis.figures.FigureData` / ``TableData`` objects shaped
 like the paper's artefacts.
 
+.. deprecated::
+    ``ExperimentRunner`` / ``HarnessConfig`` are the **legacy facade**.
+    New code should describe sweeps with :class:`repro.api.ExperimentSpec`
+    and execute them through :class:`repro.api.Session`, which adds
+    futures-based streaming aggregation and owns executor + cache
+    lifecycle (see ROADMAP.md "Running sweeps" for the timeline).  Both
+    classes remain fully functional shims: the runner is the engine the
+    session drives, every ``figureN`` grid is now declared once as a
+    :class:`~repro.analysis.executor.SweepPlan` shared by both paths, and
+    results are bit-identical whichever entry point computed them.
+
 Scale
 -----
 Runs are deliberately short (tens of thousands of controller cycles) so that
@@ -24,9 +35,11 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.analysis.executor import (
     AloneResult,
+    RunHandle,
     RunTask,
     SerialSweepExecutor,
     SweepExecutor,
+    SweepPlan,
     TASK_ALONE,
     TASK_RUN,
     make_executor,
@@ -148,6 +161,66 @@ class HarnessConfig:
             seeds=(0,),
         )
 
+    # ------------------------------------------------------------------ #
+    # Bridge to the declarative repro.api surface.
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_spec(cls, spec, jobs: int = 0,
+                  cache_dir: Optional[str] = None) -> "HarnessConfig":
+        """The harness profile an :class:`repro.api.ExperimentSpec` implies.
+
+        The spec must carry a resolved engine (sessions resolve it through
+        ``repro.api.session.resolve_execution`` before building runners).
+        """
+
+        if spec.engine is None:
+            raise ValueError(
+                "spec.engine is unresolved; resolve it (Session does this) "
+                "before building a HarnessConfig"
+            )
+        return cls(
+            sim_cycles=spec.sim_cycles,
+            entries_per_core=spec.entries_per_core,
+            attacker_entries=spec.attacker_entries,
+            nrh_default=spec.nrh_default,
+            nrh_low=spec.nrh_low,
+            nrh_sweep=tuple(spec.nrh_sweep),
+            attack_mixes=tuple(spec.attack_mixes),
+            benign_mixes=tuple(spec.benign_mixes),
+            mechanisms=tuple(spec.mechanisms),
+            seeds=tuple(spec.seeds),
+            threat_threshold=spec.threat_threshold,
+            outlier_threshold=spec.outlier_threshold,
+            engine=spec.engine,
+            jobs=jobs,
+            cache_dir=cache_dir,
+        )
+
+    def to_spec(self):
+        """The :class:`repro.api.ExperimentSpec` equivalent of this profile.
+
+        Execution knobs (``jobs``, ``cache_dir``) are dropped: they belong
+        to :class:`repro.api.Session`, not to the result description.
+        """
+
+        from repro.api.spec import ExperimentSpec
+
+        return ExperimentSpec(
+            sim_cycles=self.sim_cycles,
+            entries_per_core=self.entries_per_core,
+            attacker_entries=self.attacker_entries,
+            nrh_default=self.nrh_default,
+            nrh_low=self.nrh_low,
+            nrh_sweep=self.nrh_sweep,
+            attack_mixes=self.attack_mixes,
+            benign_mixes=self.benign_mixes,
+            mechanisms=self.mechanisms,
+            seeds=self.seeds,
+            threat_threshold=self.threat_threshold,
+            outlier_threshold=self.outlier_threshold,
+            engine=self.engine,
+        )
+
 
 #: The grid coordinate of one run: (mix, seed, mechanism, nrh, breakhammer).
 GridPoint = Tuple[str, int, str, int, bool]
@@ -160,6 +233,37 @@ RunKey = Tuple[str, int, str, int, bool, int, int, int, str]
 #: A (mix_name, mechanism, nrh, breakhammer) request, as the figure methods
 #: hand them to :meth:`ExperimentRunner.prefetch` (seed 0, like `run`).
 RunSpec = Tuple[str, str, int, bool]
+
+#: Every figure/headline artefact with a declarative sweep plan, mapped to
+#: the runner method that aggregates it.  ``repro.api.Session`` and the
+#: ``python -m repro.api run`` CLI drive figures through this registry.
+FIGURES: Dict[str, str] = {
+    "fig2": "figure2",
+    "fig5": "figure5",
+    "fig6": "figure6",
+    "fig7": "figure7",
+    "fig8": "figure8",
+    "fig9": "figure9",
+    "fig10": "figure10",
+    "fig11": "figure11",
+    "fig12": "figure12",
+    "fig13": "figure13",
+    "fig14": "figure14",
+    "fig15": "figure15",
+    "fig16": "figure16",
+    "fig17": "figure17",
+    "fig18": "figure18",
+    "fig19": "figure19",
+}
+
+#: Table artefacts (no sweep plans; aggregation only).
+TABLES: Dict[str, str] = {
+    "table1": "table1",
+    "table2": "table2",
+    "table3": "table3",
+    "table3_paper": "paper_table3",
+    "hw": "hardware_complexity",
+}
 
 
 class ExperimentRunner:
@@ -197,6 +301,10 @@ class ExperimentRunner:
         )
         self._executor: SweepExecutor = make_executor(self)
         self.runs_executed = 0
+        # In-flight futures of the streaming path, for cross-plan dedup:
+        # one handle per RunKey / per (trace_name, length) alone key.
+        self._inflight_runs: Dict[RunKey, RunHandle] = {}
+        self._inflight_alone: Dict[Tuple[str, int], RunHandle] = {}
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -318,25 +426,37 @@ class ExperimentRunner:
                 self.config.entries_per_core, self.config.attacker_entries,
                 self.config.sim_cycles, self.config.engine)
 
+    def _cached_alone_ipc(self, trace: Trace) -> Optional[float]:
+        """Memory-then-disk lookup of one standalone-IPC baseline."""
+
+        key = (trace.name, len(trace))
+        ipc = self._alone_ipc_cache.get(key)
+        if ipc is not None:
+            return ipc
+        if self._disk_cache is not None:
+            stats = self._disk_cache.get(self._alone_disk_key(trace))
+            if stats is not None:
+                ipc = max(1e-6, stats.ipc_of(0))
+                self._alone_ipc_cache[key] = ipc
+                return ipc
+        return None
+
     def alone_ipc(self, trace: Trace) -> float:
         """Standalone IPC of one trace on a single-core, no-mitigation system."""
 
-        key = (trace.name, len(trace))
-        if key in self._alone_ipc_cache:
-            return self._alone_ipc_cache[key]
-        disk_key = self._alone_disk_key(trace)
-        stats = self._disk_cache.get(disk_key) if self._disk_cache else None
-        if stats is None:
-            config = self._base_system.with_(
-                num_cores=1, mitigation="none", breakhammer_enabled=False
-            )
-            simulator = Simulator(config, [trace],
-                                  self.config.simulation_config())
-            stats = simulator.run().stats
-            if self._disk_cache is not None:
-                self._disk_cache.put(disk_key, stats)
+        cached = self._cached_alone_ipc(trace)
+        if cached is not None:
+            return cached
+        config = self._base_system.with_(
+            num_cores=1, mitigation="none", breakhammer_enabled=False
+        )
+        simulator = Simulator(config, [trace],
+                              self.config.simulation_config())
+        stats = simulator.run().stats
+        if self._disk_cache is not None:
+            self._disk_cache.put(self._alone_disk_key(trace), stats)
         ipc = max(1e-6, stats.ipc_of(0))
-        self._alone_ipc_cache[key] = ipc
+        self._alone_ipc_cache[(trace.name, len(trace))] = ipc
         return ipc
 
     # ------------------------------------------------------------------ #
@@ -375,15 +495,9 @@ class ExperimentRunner:
                 alone_key = (trace.name, len(trace))
                 # Dedup within the batch too: mixes share traces (every
                 # attack mix carries the identical attacker trace).
-                if alone_key in self._alone_ipc_cache \
-                        or alone_key in seen_alone:
+                if alone_key in seen_alone \
+                        or self._cached_alone_ipc(trace) is not None:
                     continue
-                if self._disk_cache is not None:
-                    stats = self._disk_cache.get(self._alone_disk_key(trace))
-                    if stats is not None:
-                        self._alone_ipc_cache[alone_key] = \
-                            max(1e-6, stats.ipc_of(0))
-                        continue
                 seen_alone.add(alone_key)
                 tasks.append(RunTask(kind=TASK_ALONE, mix_name=mix_name,
                                      seed=seed, trace_index=index))
@@ -409,20 +523,147 @@ class ExperimentRunner:
                 ] = alone.ipc
         return len(tasks)
 
-    def _prefetch_grid(self, mixes: Sequence[str],
-                       mechanisms: Sequence[str],
-                       nrh_values: Sequence[int],
-                       breakhammer_values: Sequence[bool],
-                       baseline: bool = False,
-                       alone: bool = True,
-                       extra_runs: Sequence[RunSpec] = ()) -> int:
-        """Prefetch the cartesian grid common to the figure methods.
+    # ------------------------------------------------------------------ #
+    # Streaming (futures) sweep execution
+    # ------------------------------------------------------------------ #
+    def submit_prefetch(self, runs: Sequence[RunSpec] = (),
+                        alone_mixes: Sequence[str] = (),
+                        seed: int = 0) -> List[RunHandle]:
+        """The futures twin of :meth:`prefetch`.
+
+        Returns one :class:`RunHandle` per *distinct* requested point —
+        grid runs first (request order), then the per-trace standalone-IPC
+        baselines of ``alone_mixes``, sharded across the same pool.
+        Already-cached points yield handles born completed; points already
+        in flight (submitted by an earlier plan of this runner) are
+        reused, so overlapping figure grids never execute a point twice.
+        Consuming a handle's ``result()`` merges the outcome into this
+        runner's caches; aggregation can therefore start as soon as the
+        first handle completes instead of after a batch barrier.
+        """
+
+        handles: List[RunHandle] = []
+        seen = set()
+        for mix_name, mechanism, nrh, breakhammer in runs:
+            key = self.run_key(mix_name, mechanism, nrh, breakhammer, seed)
+            if key in seen:
+                continue
+            seen.add(key)
+            handle = self._inflight_runs.get(key)
+            if handle is None:
+                cached = self._cached_stats(key)
+                if cached is not None:
+                    handle = RunHandle.completed(key, cached)
+                else:
+                    task = RunTask(
+                        kind=TASK_RUN, mix_name=mix_name, seed=seed,
+                        mechanism=mechanism, nrh=nrh, breakhammer=breakhammer,
+                    )
+                    handle = RunHandle(
+                        task, key, self._executor.submit(task),
+                        merge=self._merge_run_outcome(key),
+                    )
+                self._inflight_runs[key] = handle
+            handles.append(handle)
+        seen_alone = set()
+        for mix_name in dict.fromkeys(alone_mixes):
+            mix = self.mix(mix_name, seed)
+            for index, trace in enumerate(mix.traces):
+                alone_key = (trace.name, len(trace))
+                if alone_key in seen_alone:
+                    continue
+                seen_alone.add(alone_key)
+                handle = self._inflight_alone.get(alone_key)
+                if handle is None:
+                    ipc = self._cached_alone_ipc(trace)
+                    if ipc is not None:
+                        handle = RunHandle.completed(
+                            alone_key,
+                            AloneResult(trace.name, len(trace), ipc),
+                        )
+                    else:
+                        task = RunTask(kind=TASK_ALONE, mix_name=mix_name,
+                                       seed=seed, trace_index=index)
+                        handle = RunHandle(
+                            task, alone_key, self._executor.submit(task),
+                            merge=self._merge_alone_outcome,
+                        )
+                    self._inflight_alone[alone_key] = handle
+                handles.append(handle)
+        return handles
+
+    def _merge_run_outcome(self, key: RunKey):
+        serial = isinstance(self._executor, SerialSweepExecutor)
+
+        def merge(stats: RunStatistics) -> None:
+            # Serial handles ran through `run`, which memoised, persisted,
+            # and counted already; pool outcomes merge memory-only (the
+            # worker's own runner shares the disk-cache configuration and
+            # already persisted the entry).
+            if not serial:
+                self._run_cache[key] = stats
+                self.runs_executed += 1
+
+        return merge
+
+    def _merge_alone_outcome(self, alone: AloneResult) -> None:
+        self._alone_ipc_cache[(alone.trace_name, alone.trace_length)] = \
+            alone.ipc
+
+    def submit_plan(self, plan: SweepPlan) -> List[RunHandle]:
+        """Submit a figure's declarative sweep plan; see :meth:`figure_plan`."""
+
+        return self.submit_prefetch(plan.runs, alone_mixes=plan.alone_mixes,
+                                    seed=plan.seed)
+
+    # ------------------------------------------------------------------ #
+    # Declarative figure sweep plans
+    # ------------------------------------------------------------------ #
+    def figure_plan(self, figure_id: str, **kwargs) -> SweepPlan:
+        """The declarative sweep plan behind one figure.
+
+        Each ``figureN`` method executes exactly the plan this returns (the
+        grid is defined once), so a session that streams the plan's
+        handles and then aggregates sees bit-identical results to the
+        legacy batch path.  Figures without a sweep (fig5's analytical
+        bound, fig19's bespoke threshold sweep) return an empty plan.
+        """
+
+        if figure_id == "headline":
+            return self.headline_plan(**kwargs)
+        if figure_id not in FIGURES:
+            raise ValueError(
+                f"unknown figure {figure_id!r}; one of {sorted(FIGURES)}"
+            )
+        builder = getattr(self, f"_plan_{figure_id}", None)
+        if builder is None:
+            return SweepPlan(figure_id=figure_id, meta=dict(kwargs))
+        return builder(**kwargs)
+
+    def _execute_plan(self, plan: SweepPlan) -> int:
+        """Batch-execute a plan through :meth:`prefetch` (legacy path)."""
+
+        if plan.empty:
+            return 0
+        return self.prefetch(plan.runs, alone_mixes=plan.alone_mixes,
+                             seed=plan.seed)
+
+    def _grid_plan(self, figure_id: str,
+                   mixes: Sequence[str],
+                   mechanisms: Sequence[str],
+                   nrh_values: Sequence[int],
+                   breakhammer_values: Sequence[bool],
+                   baseline: bool = False,
+                   alone: bool = True,
+                   extra_runs: Sequence[RunSpec] = (),
+                   meta: Optional[Dict[str, object]] = None) -> SweepPlan:
+        """The cartesian grid plan common to the figure methods.
 
         ``baseline`` adds the per-mix no-mitigation reference run at the
         default N_RH; ``alone`` adds the standalone-IPC baselines of every
         trace in the mixes; ``extra_runs`` are off-grid points batched into
-        the same executor dispatch (a second prefetch call would serialise
-        them behind the grid's barrier).
+        the same dispatch (a second prefetch call would serialise them
+        behind the grid's barrier).
         """
 
         runs: List[RunSpec] = list(extra_runs)
@@ -437,7 +678,12 @@ class ExperimentRunner:
             for breakhammer in breakhammer_values
             for mix in mixes
         )
-        return self.prefetch(runs, alone_mixes=mixes if alone else ())
+        return SweepPlan(
+            figure_id=figure_id,
+            runs=tuple(runs),
+            alone_mixes=tuple(mixes) if alone else (),
+            meta=meta or {},
+        )
 
     # ------------------------------------------------------------------ #
     # Metrics over runs
@@ -468,12 +714,23 @@ class ExperimentRunner:
     # ------------------------------------------------------------------ #
     # Figure 2 — motivation: mitigation overhead vs N_RH (benign mixes)
     # ------------------------------------------------------------------ #
-    def figure2(self, mechanisms: Optional[Sequence[str]] = None,
-                mixes: Optional[Sequence[str]] = None) -> FigureData:
+    def _plan_fig2(self, mechanisms: Optional[Sequence[str]] = None,
+                   mixes: Optional[Sequence[str]] = None) -> SweepPlan:
         mechanisms = list(mechanisms or MOTIVATION_MECHANISMS)
         mixes = list(mixes or self.config.benign_mixes)
         sweep = list(self.config.nrh_sweep)
-        self._prefetch_grid(mixes, mechanisms, sweep, (False,), baseline=True)
+        return self._grid_plan(
+            "fig2", mixes, mechanisms, sweep, (False,), baseline=True,
+            meta=dict(mechanisms=mechanisms, mixes=mixes, sweep=sweep),
+        )
+
+    def figure2(self, mechanisms: Optional[Sequence[str]] = None,
+                mixes: Optional[Sequence[str]] = None) -> FigureData:
+        plan = self._plan_fig2(mechanisms, mixes)
+        self._execute_plan(plan)
+        mechanisms = plan.meta["mechanisms"]
+        mixes = plan.meta["mixes"]
+        sweep = plan.meta["sweep"]
         figure = FigureData(
             figure_id="fig2",
             title="System performance of RowHammer mitigations vs N_RH "
@@ -520,10 +777,24 @@ class ExperimentRunner:
     # ------------------------------------------------------------------ #
     # Figures 6/7 — per-mix performance and unfairness under attack
     # ------------------------------------------------------------------ #
-    def _per_mix_ratio(self, metric: str, nrh: int,
-                       mixes: Sequence[str],
-                       mechanisms: Sequence[str]) -> FigureData:
-        self._prefetch_grid(mixes, mechanisms, (nrh,), (False, True))
+    def _per_mix_plan(self, figure_id: str, default_nrh: int,
+                      default_mixes: Sequence[str],
+                      nrh: Optional[int] = None,
+                      mixes: Optional[Sequence[str]] = None,
+                      mechanisms: Optional[Sequence[str]] = None) -> SweepPlan:
+        nrh = nrh or default_nrh
+        mixes = list(mixes or default_mixes)
+        mechanisms = list(mechanisms or self.config.mechanisms)
+        return self._grid_plan(
+            figure_id, mixes, mechanisms, (nrh,), (False, True),
+            meta=dict(nrh=nrh, mixes=mixes, mechanisms=mechanisms),
+        )
+
+    def _per_mix_ratio(self, plan: SweepPlan, metric: str) -> FigureData:
+        self._execute_plan(plan)
+        nrh = plan.meta["nrh"]
+        mixes = plan.meta["mixes"]
+        mechanisms = plan.meta["mechanisms"]
         is_perf = metric == "weighted_speedup"
         figure = FigureData(
             figure_id="fig6" if is_perf else "fig7",
@@ -554,39 +825,55 @@ class ExperimentRunner:
             figure.add_series(f"{mechanism}+BH", ratios)
         return figure
 
+    def _plan_fig6(self, **kwargs) -> SweepPlan:
+        return self._per_mix_plan("fig6", self.config.nrh_default,
+                                  self.config.attack_mixes, **kwargs)
+
+    def _plan_fig7(self, **kwargs) -> SweepPlan:
+        return self._per_mix_plan("fig7", self.config.nrh_default,
+                                  self.config.attack_mixes, **kwargs)
+
     def figure6(self, nrh: Optional[int] = None,
                 mixes: Optional[Sequence[str]] = None,
                 mechanisms: Optional[Sequence[str]] = None) -> FigureData:
         return self._per_mix_ratio(
+            self._plan_fig6(nrh=nrh, mixes=mixes, mechanisms=mechanisms),
             "weighted_speedup",
-            nrh or self.config.nrh_default,
-            list(mixes or self.config.attack_mixes),
-            list(mechanisms or self.config.mechanisms),
         )
 
     def figure7(self, nrh: Optional[int] = None,
                 mixes: Optional[Sequence[str]] = None,
                 mechanisms: Optional[Sequence[str]] = None) -> FigureData:
         return self._per_mix_ratio(
+            self._plan_fig7(nrh=nrh, mixes=mixes, mechanisms=mechanisms),
             "max_slowdown",
-            nrh or self.config.nrh_default,
-            list(mixes or self.config.attack_mixes),
-            list(mechanisms or self.config.mechanisms),
         )
 
     # ------------------------------------------------------------------ #
     # Figures 8/9 — scaling with N_RH under attack
     # ------------------------------------------------------------------ #
-    def _nrh_scaling(self, figure_id: str, metric: str, with_attacker: bool,
-                     include_baseline_series: bool,
-                     mechanisms: Sequence[str],
-                     mixes: Sequence[str]) -> FigureData:
+    def _nrh_scaling_plan(self, figure_id: str,
+                          include_baseline_series: bool,
+                          mechanisms: Optional[Sequence[str]] = None,
+                          mixes: Optional[Sequence[str]] = None) -> SweepPlan:
+        mechanisms = list(mechanisms or self.config.mechanisms)
+        mixes = list(mixes or self.config.attack_mixes)
         sweep = list(self.config.nrh_sweep)
-        self._prefetch_grid(
-            mixes, mechanisms, sweep,
+        return self._grid_plan(
+            figure_id, mixes, mechanisms, sweep,
             (False, True) if include_baseline_series else (True,),
             baseline=True,
+            meta=dict(mechanisms=mechanisms, mixes=mixes, sweep=sweep,
+                      include_baseline_series=include_baseline_series),
         )
+
+    def _nrh_scaling(self, plan: SweepPlan, figure_id: str, metric: str,
+                     with_attacker: bool) -> FigureData:
+        self._execute_plan(plan)
+        mechanisms = plan.meta["mechanisms"]
+        mixes = plan.meta["mixes"]
+        sweep = plan.meta["sweep"]
+        include_baseline_series = plan.meta["include_baseline_series"]
         is_perf = metric == "weighted_speedup"
         figure = FigureData(
             figure_id=figure_id,
@@ -628,34 +915,48 @@ class ExperimentRunner:
             figure.add_series(f"{mechanism}+BH", series_for(mechanism, True))
         return figure
 
+    def _plan_fig8(self, **kwargs) -> SweepPlan:
+        return self._nrh_scaling_plan("fig8", True, **kwargs)
+
+    def _plan_fig9(self, **kwargs) -> SweepPlan:
+        return self._nrh_scaling_plan("fig9", False, **kwargs)
+
     def figure8(self, mechanisms: Optional[Sequence[str]] = None,
                 mixes: Optional[Sequence[str]] = None) -> FigureData:
         return self._nrh_scaling(
-            "fig8", "weighted_speedup", True, True,
-            list(mechanisms or self.config.mechanisms),
-            list(mixes or self.config.attack_mixes),
+            self._plan_fig8(mechanisms=mechanisms, mixes=mixes),
+            "fig8", "weighted_speedup", True,
         )
 
     def figure9(self, mechanisms: Optional[Sequence[str]] = None,
                 mixes: Optional[Sequence[str]] = None) -> FigureData:
         return self._nrh_scaling(
-            "fig9", "max_slowdown", True, False,
-            list(mechanisms or self.config.mechanisms),
-            list(mixes or self.config.attack_mixes),
+            self._plan_fig9(mechanisms=mechanisms, mixes=mixes),
+            "fig9", "max_slowdown", True,
         )
 
     # ------------------------------------------------------------------ #
     # Figure 10 — preventive-action counts
     # ------------------------------------------------------------------ #
-    def figure10(self, mechanisms: Optional[Sequence[str]] = None,
-                 mixes: Optional[Sequence[str]] = None) -> FigureData:
+    def _plan_fig10(self, mechanisms: Optional[Sequence[str]] = None,
+                    mixes: Optional[Sequence[str]] = None) -> SweepPlan:
         mechanisms = [
             m for m in (mechanisms or self.config.mechanisms) if m != "rega"
         ]
         mixes = list(mixes or self.config.attack_mixes)
         sweep = list(self.config.nrh_sweep)
-        self._prefetch_grid(mixes, mechanisms, sweep, (False, True),
-                            alone=False)
+        return self._grid_plan(
+            "fig10", mixes, mechanisms, sweep, (False, True), alone=False,
+            meta=dict(mechanisms=mechanisms, mixes=mixes, sweep=sweep),
+        )
+
+    def figure10(self, mechanisms: Optional[Sequence[str]] = None,
+                 mixes: Optional[Sequence[str]] = None) -> FigureData:
+        plan = self._plan_fig10(mechanisms, mixes)
+        self._execute_plan(plan)
+        mechanisms = plan.meta["mechanisms"]
+        mixes = plan.meta["mixes"]
+        sweep = plan.meta["sweep"]
         figure = FigureData(
             figure_id="fig10",
             title="RowHammer-preventive actions vs N_RH (attacker present, "
@@ -687,12 +988,12 @@ class ExperimentRunner:
     # ------------------------------------------------------------------ #
     # Figures 11/17 — memory latency percentiles
     # ------------------------------------------------------------------ #
-    def latency_percentile_figure(self, with_attacker: bool,
-                                  nrh: Optional[int] = None,
-                                  mechanisms: Optional[Sequence[str]] = None,
-                                  mixes: Optional[Sequence[str]] = None,
-                                  points: Sequence[int] = (50, 75, 90, 95, 99, 100),
-                                  ) -> FigureData:
+    def _latency_plan(self, with_attacker: bool,
+                      nrh: Optional[int] = None,
+                      mechanisms: Optional[Sequence[str]] = None,
+                      mixes: Optional[Sequence[str]] = None,
+                      points: Sequence[int] = (50, 75, 90, 95, 99, 100),
+                      ) -> SweepPlan:
         nrh = nrh or self.config.nrh_low
         mechanisms = list(mechanisms or self.config.mechanisms)
         mixes = list(
@@ -701,10 +1002,33 @@ class ExperimentRunner:
                 else self.config.benign_mixes
             )
         )
-        self._prefetch_grid(
+        return self._grid_plan(
+            "fig11" if with_attacker else "fig17",
             mixes, mechanisms, (nrh,), (False, True), alone=False,
             extra_runs=[(mix, "none", nrh, False) for mix in mixes],
+            meta=dict(nrh=nrh, mechanisms=mechanisms, mixes=mixes,
+                      points=list(points)),
         )
+
+    def _plan_fig11(self, **kwargs) -> SweepPlan:
+        return self._latency_plan(True, **kwargs)
+
+    def _plan_fig17(self, **kwargs) -> SweepPlan:
+        return self._latency_plan(False, **kwargs)
+
+    def latency_percentile_figure(self, with_attacker: bool,
+                                  nrh: Optional[int] = None,
+                                  mechanisms: Optional[Sequence[str]] = None,
+                                  mixes: Optional[Sequence[str]] = None,
+                                  points: Sequence[int] = (50, 75, 90, 95, 99, 100),
+                                  ) -> FigureData:
+        plan = self._latency_plan(with_attacker, nrh, mechanisms, mixes,
+                                  points)
+        self._execute_plan(plan)
+        nrh = plan.meta["nrh"]
+        mechanisms = plan.meta["mechanisms"]
+        mixes = plan.meta["mixes"]
+        points = plan.meta["points"]
         figure = FigureData(
             figure_id="fig11" if with_attacker else "fig17",
             title="Benign memory latency percentiles at low N_RH "
@@ -739,13 +1063,24 @@ class ExperimentRunner:
     # ------------------------------------------------------------------ #
     # Figure 12 — DRAM energy
     # ------------------------------------------------------------------ #
-    def figure12(self, mechanisms: Optional[Sequence[str]] = None,
-                 mixes: Optional[Sequence[str]] = None) -> FigureData:
+    def _plan_fig12(self, mechanisms: Optional[Sequence[str]] = None,
+                    mixes: Optional[Sequence[str]] = None) -> SweepPlan:
         mechanisms = list(mechanisms or self.config.mechanisms)
         mixes = list(mixes or self.config.attack_mixes)
         sweep = list(self.config.nrh_sweep)
-        self._prefetch_grid(mixes, mechanisms, sweep, (False, True),
-                            baseline=True, alone=False)
+        return self._grid_plan(
+            "fig12", mixes, mechanisms, sweep, (False, True),
+            baseline=True, alone=False,
+            meta=dict(mechanisms=mechanisms, mixes=mixes, sweep=sweep),
+        )
+
+    def figure12(self, mechanisms: Optional[Sequence[str]] = None,
+                 mixes: Optional[Sequence[str]] = None) -> FigureData:
+        plan = self._plan_fig12(mechanisms, mixes)
+        self._execute_plan(plan)
+        mechanisms = plan.meta["mechanisms"]
+        mixes = plan.meta["mixes"]
+        sweep = plan.meta["sweep"]
         figure = FigureData(
             figure_id="fig12",
             title="DRAM energy vs N_RH (attacker present, normalised to "
@@ -777,14 +1112,20 @@ class ExperimentRunner:
     # ------------------------------------------------------------------ #
     # Figures 13-16 — all-benign studies
     # ------------------------------------------------------------------ #
+    def _plan_fig13(self, **kwargs) -> SweepPlan:
+        return self._per_mix_plan("fig13", self.config.nrh_low,
+                                  self.config.benign_mixes, **kwargs)
+
+    def _plan_fig14(self, **kwargs) -> SweepPlan:
+        return self._per_mix_plan("fig14", self.config.nrh_default,
+                                  self.config.benign_mixes, **kwargs)
+
     def figure13(self, nrh: Optional[int] = None,
                  mixes: Optional[Sequence[str]] = None,
                  mechanisms: Optional[Sequence[str]] = None) -> FigureData:
         figure = self._per_mix_ratio(
+            self._plan_fig13(nrh=nrh, mixes=mixes, mechanisms=mechanisms),
             "weighted_speedup",
-            nrh or self.config.nrh_low,
-            list(mixes or self.config.benign_mixes),
-            list(mechanisms or self.config.mechanisms),
         )
         figure.figure_id = "fig13"
         figure.title = ("Benign-only weighted speedup with BreakHammer, "
@@ -795,21 +1136,38 @@ class ExperimentRunner:
                  mixes: Optional[Sequence[str]] = None,
                  mechanisms: Optional[Sequence[str]] = None) -> FigureData:
         figure = self._per_mix_ratio(
+            self._plan_fig14(nrh=nrh, mixes=mixes, mechanisms=mechanisms),
             "max_slowdown",
-            nrh or self.config.nrh_default,
-            list(mixes or self.config.benign_mixes),
-            list(mechanisms or self.config.mechanisms),
         )
         figure.figure_id = "fig14"
         figure.title = ("Benign-only unfairness with BreakHammer, normalised "
                         "to the mechanism alone")
         return figure
 
-    def _benign_scaling(self, figure_id: str, metric: str,
-                        mechanisms: Sequence[str],
-                        mixes: Sequence[str]) -> FigureData:
+    def _benign_scaling_plan(self, figure_id: str,
+                             mechanisms: Optional[Sequence[str]] = None,
+                             mixes: Optional[Sequence[str]] = None
+                             ) -> SweepPlan:
+        mechanisms = list(mechanisms or self.config.mechanisms)
+        mixes = list(mixes or self.config.benign_mixes)
         sweep = list(self.config.nrh_sweep)
-        self._prefetch_grid(mixes, mechanisms, sweep, (False, True))
+        return self._grid_plan(
+            figure_id, mixes, mechanisms, sweep, (False, True),
+            meta=dict(mechanisms=mechanisms, mixes=mixes, sweep=sweep),
+        )
+
+    def _plan_fig15(self, **kwargs) -> SweepPlan:
+        return self._benign_scaling_plan("fig15", **kwargs)
+
+    def _plan_fig16(self, **kwargs) -> SweepPlan:
+        return self._benign_scaling_plan("fig16", **kwargs)
+
+    def _benign_scaling(self, plan: SweepPlan, figure_id: str,
+                        metric: str) -> FigureData:
+        self._execute_plan(plan)
+        mechanisms = plan.meta["mechanisms"]
+        mixes = plan.meta["mixes"]
+        sweep = plan.meta["sweep"]
         is_perf = metric == "weighted_speedup"
         figure = FigureData(
             figure_id=figure_id,
@@ -841,32 +1199,39 @@ class ExperimentRunner:
     def figure15(self, mechanisms: Optional[Sequence[str]] = None,
                  mixes: Optional[Sequence[str]] = None) -> FigureData:
         return self._benign_scaling(
+            self._plan_fig15(mechanisms=mechanisms, mixes=mixes),
             "fig15", "weighted_speedup",
-            list(mechanisms or self.config.mechanisms),
-            list(mixes or self.config.benign_mixes),
         )
 
     def figure16(self, mechanisms: Optional[Sequence[str]] = None,
                  mixes: Optional[Sequence[str]] = None) -> FigureData:
         return self._benign_scaling(
+            self._plan_fig16(mechanisms=mechanisms, mixes=mixes),
             "fig16", "max_slowdown",
-            list(mechanisms or self.config.mechanisms),
-            list(mixes or self.config.benign_mixes),
         )
 
     # ------------------------------------------------------------------ #
     # Figure 18 — comparison with BlockHammer
     # ------------------------------------------------------------------ #
-    def figure18(self, mechanisms: Optional[Sequence[str]] = None,
-                 mixes: Optional[Sequence[str]] = None) -> FigureData:
+    def _plan_fig18(self, mechanisms: Optional[Sequence[str]] = None,
+                    mixes: Optional[Sequence[str]] = None) -> SweepPlan:
         mechanisms = list(mechanisms or self.config.mechanisms)
         mixes = list(mixes or self.config.attack_mixes)
         sweep = list(self.config.nrh_sweep)
-        self._prefetch_grid(
-            mixes, mechanisms, sweep, (True,), baseline=True,
+        return self._grid_plan(
+            "fig18", mixes, mechanisms, sweep, (True,), baseline=True,
             extra_runs=[(mix, "blockhammer", nrh, False)
                         for nrh in sweep for mix in mixes],
+            meta=dict(mechanisms=mechanisms, mixes=mixes, sweep=sweep),
         )
+
+    def figure18(self, mechanisms: Optional[Sequence[str]] = None,
+                 mixes: Optional[Sequence[str]] = None) -> FigureData:
+        plan = self._plan_fig18(mechanisms, mixes)
+        self._execute_plan(plan)
+        mechanisms = plan.meta["mechanisms"]
+        mixes = plan.meta["mixes"]
+        sweep = plan.meta["sweep"]
         figure = FigureData(
             figure_id="fig18",
             title="BreakHammer-paired mechanisms vs BlockHammer "
@@ -1055,6 +1420,14 @@ class ExperimentRunner:
     # ------------------------------------------------------------------ #
     # Headline numbers (abstract / §8 claims)
     # ------------------------------------------------------------------ #
+    def headline_plan(self, nrh: Optional[int] = None) -> SweepPlan:
+        nrh = nrh or self.config.nrh_low
+        return self._grid_plan(
+            "headline", list(self.config.attack_mixes),
+            list(self.config.mechanisms), (nrh,), (False, True),
+            meta=dict(nrh=nrh),
+        )
+
     def headline_numbers(self, nrh: Optional[int] = None) -> Dict[str, float]:
         """Average benign speedup / action reduction with an attacker present.
 
@@ -1063,9 +1436,9 @@ class ExperimentRunner:
         application" claim structure (the magnitudes depend on scale).
         """
 
-        nrh = nrh or self.config.nrh_low
-        self._prefetch_grid(self.config.attack_mixes, self.config.mechanisms,
-                            (nrh,), (False, True))
+        plan = self.headline_plan(nrh)
+        self._execute_plan(plan)
+        nrh = plan.meta["nrh"]
         speedups: List[float] = []
         energy_ratios: List[float] = []
         action_ratios: List[float] = []

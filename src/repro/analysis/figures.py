@@ -86,6 +86,22 @@ class FigureData:
             "notes": self.notes,
         }
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FigureData":
+        """Rebuild a figure from :meth:`as_dict` output (CLI JSON dumps)."""
+
+        figure = cls(
+            figure_id=data["figure_id"],
+            title=data["title"],
+            x_label=data["x_label"],
+            y_label=data["y_label"],
+            x_values=list(data["x_values"]),
+            notes=data.get("notes", ""),
+        )
+        for label, values in data.get("series", {}).items():
+            figure.add_series(label, values)
+        return figure
+
 
 @dataclass
 class TableData:
@@ -116,6 +132,20 @@ class TableData:
             "rows": [dict(row) for row in self.rows],
             "notes": self.notes,
         }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "TableData":
+        """Rebuild a table from :meth:`as_dict` output."""
+
+        table = cls(
+            table_id=data["table_id"],
+            title=data["title"],
+            columns=list(data["columns"]),
+            notes=data.get("notes", ""),
+        )
+        for row in data.get("rows", ()):
+            table.add_row(dict(row))
+        return table
 
     def __len__(self) -> int:
         return len(self.rows)

@@ -7,6 +7,15 @@ process :class:`repro.analysis.experiments.ExperimentRunner` memoises them;
 invocations* by persisting each :class:`repro.sim.stats.RunStatistics` to
 disk.
 
+Lifecycle: a :class:`repro.api.Session` owns one cache per spec — the
+directory is resolved once, up front, through
+:func:`repro.api.session.resolve_execution` (explicit ``cache_dir`` beats
+``REPRO_CACHE_DIR``; ``""`` force-disables), and the namespace fingerprint
+falls out of the session's :class:`repro.api.ExperimentSpec`, so one spec
+always maps to one namespace no matter how (or how parallel) it is
+executed.  The legacy ``ExperimentRunner`` path builds the same cache from
+``HarnessConfig.cache_dir`` via :meth:`RunCache.from_env`.
+
 Layout and invalidation
 -----------------------
 Entries live under ``<root>/<fingerprint>/<key-digest>.pkl`` where

@@ -1,0 +1,8 @@
+"""``python -m repro.api`` — the unified experiment CLI."""
+
+import sys
+
+from repro.api.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

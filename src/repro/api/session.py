@@ -1,0 +1,318 @@
+"""Sessions: executor + cache lifecycle and futures-based streaming sweeps.
+
+A :class:`Session` binds one :class:`~repro.api.spec.ExperimentSpec` to one
+execution environment (worker pool, on-disk run cache) and exposes the
+futures surface: :meth:`Session.submit` returns
+:class:`~repro.analysis.executor.RunHandle` objects, figures *subscribe* to
+their grid's handles and aggregate as results stream in, and
+:meth:`Session.figures` overlaps one figure's aggregation with the next
+figure's execution on a shared pool.  Results are bit-identical to the
+legacy batch path (``tests/test_api_session.py`` pins this for serial and
+parallel executors, cold and warm caches).
+
+Execution-knob resolution (the one documented place)
+----------------------------------------------------
+:func:`resolve_execution` is the **single** resolution point for the three
+execution knobs.  Precedence, highest first:
+
+1. explicit arguments — a ``Session(...)`` keyword, a CLI flag, or a
+   pinned ``ExperimentSpec.engine`` field;
+2. the environment: ``REPRO_ENGINE``, ``REPRO_JOBS``, ``REPRO_CACHE_DIR``;
+3. defaults: the ``fast`` engine, serial execution (jobs=1), cache off.
+
+Explicit spec/session values therefore always beat ``REPRO_*`` variables.
+``cache_dir=""`` (explicit empty string) force-disables the cache even when
+``REPRO_CACHE_DIR`` is exported, matching the legacy
+:class:`~repro.analysis.runcache.RunCache` contract.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.analysis.executor import (
+    JOBS_ENV,
+    RunHandle,
+    SweepPlan,
+    iter_completed,
+    resolve_jobs,
+)
+from repro.analysis.experiments import (
+    FIGURES,
+    TABLES,
+    ExperimentRunner,
+    HarnessConfig,
+)
+from repro.analysis.figures import FigureData, TableData
+from repro.analysis.runcache import CACHE_DIR_ENV, RunCache
+from repro.api.spec import ExperimentSpec, RunPoint
+from repro.sim.config import ENGINE_ENV, SIMULATION_ENGINES
+from repro.sim.stats import RunStatistics
+
+#: Default engine when neither the spec nor ``REPRO_ENGINE`` pins one.
+DEFAULT_ENGINE = "fast"
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """The fully resolved execution knobs of one session."""
+
+    engine: str
+    jobs: int
+    cache_dir: Optional[str]
+
+
+def resolve_engine(explicit: Optional[str] = None) -> str:
+    """The effective engine: explicit value, else ``$REPRO_ENGINE``, else fast."""
+
+    engine = explicit
+    if engine is None:
+        env = os.environ.get(ENGINE_ENV, "").strip().lower()
+        engine = env or DEFAULT_ENGINE
+    if engine not in SIMULATION_ENGINES:
+        raise ValueError(
+            f"engine {engine!r} (from "
+            f"{'argument/spec' if explicit else ENGINE_ENV}) is not one of "
+            f"{SIMULATION_ENGINES}"
+        )
+    return engine
+
+
+def resolve_execution(spec: Optional[ExperimentSpec] = None,
+                      jobs: Optional[int] = None,
+                      cache_dir: Optional[str] = None,
+                      engine: Optional[str] = None) -> ExecutionPlan:
+    """Resolve every execution knob in one place (see the module docstring).
+
+    ``engine`` (argument) beats ``spec.engine`` beats ``$REPRO_ENGINE``;
+    ``jobs``/``cache_dir`` arguments beat ``$REPRO_JOBS``/``$REPRO_CACHE_DIR``.
+    ``jobs=None`` defers to the environment; ``jobs=0`` does too (the legacy
+    HarnessConfig convention).  ``cache_dir=None`` defers, ``""`` disables.
+    """
+
+    if engine is None and spec is not None:
+        engine = spec.engine
+    resolved_engine = resolve_engine(engine)
+    resolved_jobs = resolve_jobs(jobs or 0)
+    if cache_dir is None:
+        cache_dir = os.environ.get(CACHE_DIR_ENV)
+        if not cache_dir:
+            cache_dir = None
+    elif cache_dir == "":
+        cache_dir = None
+    return ExecutionPlan(engine=resolved_engine, jobs=resolved_jobs,
+                         cache_dir=cache_dir)
+
+
+class Session:
+    """Owns executor + cache lifecycle for one :class:`ExperimentSpec`.
+
+    Usage::
+
+        from repro.api import ExperimentSpec, Session
+
+        with Session(ExperimentSpec.fast(), jobs=4) as session:
+            handle = session.submit("MMLA", "para", 64, True)
+            stats = handle.result()          # one grid point
+            fig8 = session.figure("fig8")    # streamed figure sweep
+            all_figs = session.figures(["fig6", "fig7", "fig12"])
+
+    The session resolves its execution knobs once, up front, through
+    :func:`resolve_execution`, builds the (legacy) runner it drives, and
+    closes the worker pool on exit.  Alone-IPC baselines are first-class:
+    :meth:`submit_alone` shards one handle per trace across the same pool
+    the grid runs use.
+    """
+
+    def __init__(self, spec: Optional[ExperimentSpec] = None, *,
+                 jobs: Optional[int] = None,
+                 cache_dir: Optional[str] = None,
+                 engine: Optional[str] = None) -> None:
+        spec = spec if spec is not None else ExperimentSpec()
+        self.execution = resolve_execution(spec, jobs=jobs,
+                                           cache_dir=cache_dir, engine=engine)
+        self.spec = spec.resolved(self.execution.engine)
+        self._runner = ExperimentRunner(HarnessConfig.from_spec(
+            self.spec,
+            jobs=self.execution.jobs,
+            # "" force-disables so an exported REPRO_CACHE_DIR can never
+            # resurrect a cache the resolution chain decided against.
+            cache_dir=self.execution.cache_dir or "",
+        ))
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def runner(self) -> ExperimentRunner:
+        """The legacy runner this session drives (shared caches)."""
+
+        return self._runner
+
+    @property
+    def jobs(self) -> int:
+        return self._runner.jobs
+
+    @property
+    def engine(self) -> str:
+        return self.spec.engine
+
+    @property
+    def cache(self) -> Optional[RunCache]:
+        return self._runner.disk_cache
+
+    @property
+    def fingerprint(self) -> str:
+        return self._runner.fingerprint
+
+    @property
+    def runs_executed(self) -> int:
+        return self._runner.runs_executed
+
+    def close(self) -> None:
+        if not self._closed:
+            self._runner.close()
+            self._closed = True
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Futures surface
+    # ------------------------------------------------------------------ #
+    def submit(self, mix: str, mechanism: str, nrh: int,
+               breakhammer: bool = False, seed: int = 0) -> RunHandle:
+        """Submit one grid point; returns its (possibly completed) handle."""
+
+        return self._runner.submit_prefetch(
+            [(mix, mechanism, nrh, breakhammer)], seed=seed
+        )[0]
+
+    def submit_point(self, point: RunPoint) -> RunHandle:
+        return self.submit(point.mix, point.mechanism, point.nrh,
+                           point.breakhammer, point.seed)
+
+    def submit_grid(self, points: Iterable[RunPoint]) -> List[RunHandle]:
+        """Submit many grid points: one handle per *distinct* point.
+
+        Duplicates collapse, so the returned list can be shorter than the
+        input; when the input may contain repeats, key results by point
+        (``dict(zip(dict.fromkeys(points), handles))``) instead of zipping
+        against the raw input.
+        """
+
+        by_seed: Dict[int, List[RunPoint]] = {}
+        order: List[RunPoint] = []
+        for point in points:
+            by_seed.setdefault(point.seed, []).append(point)
+            order.append(point)
+        handles: Dict[RunPoint, RunHandle] = {}
+        for seed, group in by_seed.items():
+            submitted = self._runner.submit_prefetch(
+                [p.as_run_spec() for p in group], seed=seed
+            )
+            for point, handle in zip(dict.fromkeys(group), submitted):
+                handles[point] = handle
+        return [handles[point] for point in dict.fromkeys(order)]
+
+    def submit_alone(self, mix: str, seed: int = 0) -> List[RunHandle]:
+        """One handle per trace of ``mix``'s standalone-IPC baselines.
+
+        The baselines are sharded across the same worker pool as grid
+        runs — they are ordinary spec points, not a serial preamble.
+        """
+
+        return self._runner.submit_prefetch([], alone_mixes=[mix], seed=seed)
+
+    def run(self, mix: str, mechanism: str, nrh: int,
+            breakhammer: bool = False, seed: int = 0) -> RunStatistics:
+        """Blocking convenience: submit one point and wait for its result."""
+
+        return self.submit(mix, mechanism, nrh, breakhammer, seed).result()
+
+    # ------------------------------------------------------------------ #
+    # Streamed figures
+    # ------------------------------------------------------------------ #
+    def figure(self, figure_id: str, **kwargs) -> FigureData:
+        """Compute one figure through the streaming path.
+
+        The figure's declarative :class:`SweepPlan` is submitted as
+        futures; results are merged into the session's caches in
+        completion order (out-of-order on a pool — aggregation bookkeeping
+        overlaps execution), and the figure's aggregation then reads the
+        warm caches.  Bit-identical to the legacy batch
+        ``ExperimentRunner.figureN`` path.
+        """
+
+        return self.stream(figure_id, **kwargs)
+
+    def figures(self, figure_ids: Sequence[str],
+                **kwargs_by_figure) -> Dict[str, FigureData]:
+        """Compute several figures, overlapping aggregation with execution.
+
+        Every figure's plan is submitted up front (shared points are
+        deduplicated — overlapping grids execute once); each figure is
+        then aggregated as soon as *its* handles have completed, while the
+        later figures' remaining points are still executing in the pool.
+        ``kwargs_by_figure`` maps a figure id to its keyword arguments.
+        """
+
+        submitted: Dict[str, List[RunHandle]] = {}
+        for figure_id in dict.fromkeys(figure_ids):
+            kwargs = kwargs_by_figure.get(figure_id, {})
+            plan = self._runner.figure_plan(figure_id, **kwargs)
+            submitted[figure_id] = self._runner.submit_plan(plan)
+        results: Dict[str, FigureData] = {}
+        for figure_id, handles in submitted.items():
+            self._consume(handles)
+            kwargs = kwargs_by_figure.get(figure_id, {})
+            results[figure_id] = self._aggregate_fn(figure_id)(**kwargs)
+        return results
+
+    def stream(self, figure_id: str, on_result=None, **kwargs) -> FigureData:
+        """Like :meth:`figure`, invoking ``on_result(handle)`` per completion.
+
+        The callback observes every handle (cached ones included) in
+        completion order — progress bars and live dashboards subscribe
+        here without changing the aggregation result.
+        """
+
+        aggregate = self._aggregate_fn(figure_id)
+        plan = self._runner.figure_plan(figure_id, **kwargs)
+        for handle in iter_completed(self._runner.submit_plan(plan)):
+            handle.result()
+            if on_result is not None:
+                on_result(handle)
+        return aggregate(**kwargs)
+
+    def headline_numbers(self, nrh: Optional[int] = None) -> Dict[str, float]:
+        self._consume(self._runner.submit_plan(
+            self._runner.headline_plan(nrh)
+        ))
+        return self._runner.headline_numbers(nrh)
+
+    def table(self, table_id: str) -> TableData:
+        if table_id not in TABLES:
+            raise ValueError(
+                f"unknown table {table_id!r}; one of {sorted(TABLES)}"
+            )
+        return getattr(self._runner, TABLES[table_id])()
+
+    # ------------------------------------------------------------------ #
+    def _aggregate_fn(self, figure_id: str):
+        if figure_id not in FIGURES:
+            raise ValueError(
+                f"unknown figure {figure_id!r}; one of {sorted(FIGURES)}"
+            )
+        return getattr(self._runner, FIGURES[figure_id])
+
+    @staticmethod
+    def _consume(handles: Sequence[RunHandle]) -> None:
+        for handle in iter_completed(handles):
+            handle.result()

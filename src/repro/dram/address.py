@@ -231,6 +231,66 @@ class AddressMapper:
         )
 
     # ------------------------------------------------------------------ #
+    # Vectorised row decoding (numpy-backed trace characterisation)
+    # ------------------------------------------------------------------ #
+    def row_id(self, coordinate: DramAddress) -> int:
+        """A packed integer bijective with :attr:`DramAddress.row_key`.
+
+        Two addresses share a ``row_id`` exactly when they share a
+        ``row_key``, so counting activations per row id is equivalent to
+        counting per row-key tuple — the property the numpy-backed
+        :meth:`repro.cpu.trace.Trace.characterize` relies on.
+        """
+
+        cfg = self.config
+        bank_linear = (
+            (coordinate.rank * cfg.bank_groups + coordinate.bank_group)
+            * cfg.banks_per_group
+            + coordinate.bank
+        )
+        return (
+            (coordinate.channel * cfg.ranks * cfg.banks_per_rank
+             + bank_linear) * cfg.rows_per_bank
+            + coordinate.row
+        )
+
+    def map_row_ids(self, addresses):
+        """Decode a numpy array of byte addresses into packed row ids.
+
+        Vectorised equivalent of ``row_id(map(a))`` per element, for all
+        three mapping schemes.  Requires numpy (callers gate on
+        availability); the result dtype is ``uint64``.
+        """
+
+        import numpy as np
+
+        cfg = self.config
+        line = np.asarray(addresses, dtype=np.uint64) // cfg.cacheline_bytes
+        banks = cfg.ranks * cfg.banks_per_rank
+        rest, channel = np.divmod(line, np.uint64(cfg.channels))
+        if self.scheme is MappingScheme.MOP:
+            rest //= np.uint64(self.mop_lines)
+            rest, bank_linear = np.divmod(rest, np.uint64(banks))
+            blocks_per_row = max(1, cfg.cachelines_per_row // self.mop_lines)
+            row = (rest // np.uint64(blocks_per_row)) \
+                % np.uint64(cfg.rows_per_bank)
+        elif self.scheme is MappingScheme.ROW_INTERLEAVED:
+            rest //= np.uint64(cfg.cachelines_per_row)
+            row, bank_linear = np.divmod(rest, np.uint64(banks))
+            row %= np.uint64(cfg.rows_per_bank)
+        else:  # bank interleaved
+            rest, bank_linear = np.divmod(rest, np.uint64(banks))
+            row = (rest // np.uint64(cfg.cachelines_per_row)) \
+                % np.uint64(cfg.rows_per_bank)
+        # _decompose_bank wraps rank into the geometry; bank_linear < banks
+        # already, so the linear index matches the scalar decomposition.
+        return (
+            (channel * np.uint64(banks) + bank_linear)
+            * np.uint64(cfg.rows_per_bank)
+            + row
+        )
+
+    # ------------------------------------------------------------------ #
     def address_for_row(self, channel: int, rank: int, bank_group: int,
                         bank: int, row: int, column: int = 0) -> int:
         """Construct a byte address that maps to the given row.

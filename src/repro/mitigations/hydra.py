@@ -19,7 +19,7 @@ traffic (and are therefore observed by BreakHammer, per the paper §4.1):
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional
 
 from repro.dram.address import DramAddress
@@ -49,9 +49,22 @@ class Hydra(MitigationMechanism):
 
     def __init__(self, config: DeviceConfig, nrh: int,
                  hydra_config: Optional[HydraConfig] = None,
-                 blast_radius: int = 1) -> None:
+                 blast_radius: int = 1,
+                 group_size: Optional[int] = None,
+                 rcc_entries_per_bank: Optional[int] = None) -> None:
         super().__init__(config, nrh)
         self.params = hydra_config or HydraConfig()
+        # Scalar table-size overrides: the registry (and the differential
+        # fuzzer's `mitigation_kwargs` sampling) can resize the tracker
+        # without constructing a HydraConfig.
+        if group_size is not None or rcc_entries_per_bank is not None:
+            self.params = replace(
+                self.params,
+                **({"group_size": group_size}
+                   if group_size is not None else {}),
+                **({"rcc_entries_per_bank": rcc_entries_per_bank}
+                   if rcc_entries_per_bank is not None else {}),
+            )
         self.group_threshold = max(1, int(nrh * self.params.group_threshold_fraction))
         self.refresh_threshold = max(1, int(nrh * self.params.refresh_threshold_fraction))
         self.blast_radius = blast_radius

@@ -38,6 +38,11 @@ from repro.dram.config import DeviceConfig
 #: Valid values of :attr:`SimulationConfig.engine`.
 SIMULATION_ENGINES = ("cycle", "fast")
 
+#: Environment variable naming the default simulation engine.  Resolution
+#: order (explicit spec/config field > this variable > ``"fast"``) is
+#: implemented once, in :func:`repro.api.session.resolve_execution`.
+ENGINE_ENV = "REPRO_ENGINE"
+
 
 def config_fingerprint(*configs) -> str:
     """A short stable digest over one or more (frozen) config dataclasses.

@@ -124,13 +124,15 @@ def executor_differential(scenarios: Sequence[Scenario],
 
     Scenarios are grouped by harness shape (cycle budget, trace sizes,
     seed); each group becomes one (mix, mechanism, nrh, breakhammer) grid
-    executed by a serial and a process-pool
-    :class:`~repro.analysis.experiments.ExperimentRunner`.  Returns a list
-    of human-readable mismatch descriptions (empty = all identical);
-    non-harness-shaped scenarios are skipped.
+    described by an :class:`repro.api.ExperimentSpec` and executed by a
+    serial and a process-pool :class:`repro.api.Session` — the parallel
+    side through the futures/streaming path, pinning it to the same
+    determinism contract.  Returns a list of human-readable mismatch
+    descriptions (empty = all identical); non-harness-shaped scenarios are
+    skipped.
     """
 
-    from repro.analysis.experiments import ExperimentRunner, HarnessConfig
+    from repro.api import ExperimentSpec, RunPoint, Session
 
     groups: Dict[Tuple[int, int, int, int], List[Scenario]] = {}
     for scenario in scenarios:
@@ -142,22 +144,26 @@ def executor_differential(scenarios: Sequence[Scenario],
 
     mismatches: List[str] = []
     for (sim_cycles, entries, attacker_entries, seed), group in groups.items():
-        base = HarnessConfig(
+        spec = ExperimentSpec.tiny(
             sim_cycles=sim_cycles,
             entries_per_core=entries,
             attacker_entries=attacker_entries,
             engine="fast",
-            jobs=1,
-            cache_dir="",  # hermetic: never share state through the disk
         )
-        grid = [(s.mix, s.mechanism, s.nrh, s.breakhammer) for s in group]
-        with ExperimentRunner(base) as serial, \
-                ExperimentRunner(
-                    dataclasses.replace(base, jobs=jobs)) as parallel:
-            parallel.prefetch(grid, seed=seed)
-            for scenario, point in zip(group, grid):
-                lhs = serial.run(*point, seed=seed)
-                rhs = parallel.run(*point, seed=seed)
+        points = [RunPoint(s.mix, s.mechanism, s.nrh, s.breakhammer, seed)
+                  for s in group]
+        # cache_dir="" keeps both sessions hermetic: never share state
+        # through the disk, even under an exported REPRO_CACHE_DIR.
+        with Session(spec, jobs=1, cache_dir="") as serial, \
+                Session(spec, jobs=jobs, cache_dir="") as parallel:
+            # submit_grid returns one handle per *distinct* point; key the
+            # lookup so duplicated scenarios compare against their own run.
+            handles = dict(zip(dict.fromkeys(points),
+                               parallel.submit_grid(points)))
+            for scenario, point in zip(group, points):
+                lhs = serial.run(point.mix, point.mechanism, point.nrh,
+                                 point.breakhammer, seed=seed)
+                rhs = handles[point].result()
                 if dataclasses.asdict(lhs) != dataclasses.asdict(rhs):
                     mismatches.append(
                         f"jobs=1 vs jobs={jobs} diverge on {scenario.label}"

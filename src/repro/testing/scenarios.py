@@ -1,10 +1,12 @@
 """Scenario space of the differential fuzzer.
 
 A :class:`Scenario` is one fully specified simulation setup: workload mix
-(benign intensities, attacker, DMA stream), mitigation mechanism and its
-threshold, BreakHammer, device geometry (rank count, timing compression),
-scheduler policy, and every run-bounding knob the engines must agree on
-(cycle budget, warmup boundary, instruction limit).  The sampler draws
+(benign intensities, attacker, DMA stream), mitigation mechanism with its
+threshold *and its internals* (``mitigation_kwargs``: PRAC back-off
+servicing, Graphene/Hydra table sizes), BreakHammer, device geometry (rank
+count, timing compression), scheduler policy, and every run-bounding knob
+the engines must agree on (cycle budget, warmup boundary, instruction
+limit).  The sampler draws
 scenarios from that space deterministically from a seed, so any scenario —
 and any whole campaign — can be replayed exactly.
 
@@ -54,6 +56,10 @@ class Scenario:
     ranks: int = 2
     scheduler: str = "frfcfs_cap"
     time_compression: float = 4.0
+    #: Per-mechanism constructor overrides (PRAC back-off servicing,
+    #: Graphene/Hydra table sizes, …) as sorted (name, value) pairs so the
+    #: scenario stays hashable, picklable, and replayable from its repr.
+    mitigation_kwargs: Tuple[Tuple[str, object], ...] = ()
 
     @property
     def label(self) -> str:
@@ -68,6 +74,10 @@ class Scenario:
             extras.append(f"il{self.instruction_limit}")
         if self.ranks != 2:
             extras.append(f"r{self.ranks}")
+        extras.extend(
+            f"{name.replace('_', '')}{value}"
+            for name, value in self.mitigation_kwargs
+        )
         suffix = ("-" + "-".join(extras)) if extras else ""
         return (f"s{self.seed}-{self.mix}-{self.mechanism}"
                 f"-nrh{self.nrh}{suffix}")
@@ -87,6 +97,7 @@ class Scenario:
             and self.ranks == 2
             and self.scheduler == "frfcfs_cap"
             and self.time_compression == 4.0
+            and not self.mitigation_kwargs  # grid points use registry defaults
             and "D" not in self.mix
             and len(self.mix) == 4  # the harness machine has four cores
         )
@@ -120,6 +131,48 @@ class FuzzProfile:
         )
 
 
+#: Per-mechanism `mitigation_kwargs` pools the fuzzer samples from, so the
+#: differential contract covers mechanism *internals*, not just thresholds:
+#: PRAC's back-off servicing knobs and the Graphene/Hydra table sizes
+#: (smaller tables force spillover / RCC-miss paths that the defaults
+#: rarely exercise at fuzzing scale).
+MITIGATION_KWARG_POOLS: dict = {
+    "prac": (
+        ("rfm_per_backoff", (1, 2, 3, 4)),
+        ("blast_radius", (1, 2)),
+    ),
+    "graphene": (
+        ("table_entries", (4, 16, 64)),
+    ),
+    "hydra": (
+        ("rcc_entries_per_bank", (4, 16, 64)),
+        ("group_size", (32, 64, 128)),
+    ),
+}
+
+
+def _sample_mitigation_kwargs(rng: random.Random, mechanism: str
+                              ) -> Tuple[Tuple[str, object], ...]:
+    """Sorted (name, value) overrides for ``mechanism`` (often empty).
+
+    Always consumes the same number of RNG draws for a given mechanism, so
+    adding pools never perturbs the sampling of later dimensions within a
+    scenario.
+    """
+
+    pools = MITIGATION_KWARG_POOLS.get(mechanism)
+    if pools is None:
+        return ()
+    chosen = []
+    sample_any = rng.random() < 0.55
+    for name, values in pools:
+        pick = rng.random() < 0.7
+        value = rng.choice(values)
+        if sample_any and pick:
+            chosen.append((name, value))
+    return tuple(sorted(chosen))
+
+
 def _sample_mix(rng: random.Random, max_cores: int) -> str:
     """A mix string over {H, M, L, A, D} with 1..max_cores cores."""
 
@@ -142,10 +195,11 @@ def _sample_scenario(rng: random.Random, index: int,
     sim_cycles = rng.choice(profile.sim_cycles_choices)
     warmup = rng.choice((0, 0, 0, sim_cycles // 4, sim_cycles // 2))
     limit = rng.choice((None, None, None, 200, 500, 1_500))
+    mechanism = FUZZ_MECHANISMS[index % len(FUZZ_MECHANISMS)]
     return Scenario(
         seed=rng.randrange(profile.trace_seeds),
         mix=_sample_mix(rng, profile.max_cores),
-        mechanism=FUZZ_MECHANISMS[index % len(FUZZ_MECHANISMS)],
+        mechanism=mechanism,
         nrh=rng.choice(profile.nrh_choices),
         breakhammer=rng.random() < 0.5,
         sim_cycles=sim_cycles,
@@ -156,6 +210,7 @@ def _sample_scenario(rng: random.Random, index: int,
         ranks=rng.choice((1, 2, 2)),
         scheduler=rng.choice(("frfcfs_cap", "frfcfs_cap", "frfcfs", "fcfs")),
         time_compression=rng.choice((4.0, 4.0, 2.0)),
+        mitigation_kwargs=_sample_mitigation_kwargs(rng, mechanism),
     )
 
 
@@ -169,12 +224,15 @@ def generate_scenarios(seed: int, count: int,
     return [_sample_scenario(rng, index, profile) for index in range(count)]
 
 
-def fuzz_corpus(count: int = 30) -> List[Scenario]:
+def fuzz_corpus(count: int = 44) -> List[Scenario]:
     """The fixed-seed corpus the ``fuzz_smoke`` pytest tier replays.
 
     Spans every registered mechanism (``count >= len(FUZZ_MECHANISMS)``),
     single- to four-core mixes with attackers and DMA streams, both rank
-    geometries, all schedulers, and warmup/instruction-limit combinations.
+    geometries, all schedulers, warmup/instruction-limit combinations, and
+    ``mitigation_kwargs`` overrides for every mechanism that samples them
+    (PRAC back-off servicing, Graphene and Hydra table sizes) — 44 is the
+    smallest count at which the fixed seed reaches all three.
     """
 
     return generate_scenarios(CORPUS_SEED, count, FuzzProfile.smoke())
@@ -226,6 +284,8 @@ def build_system_config(scenario: Scenario) -> SystemConfig:
         "num_cores": len(scenario.mix),
         "scheduler": scenario.scheduler,
     }
+    if scenario.mitigation_kwargs:
+        changes["mitigation_kwargs"] = dict(scenario.mitigation_kwargs)
     if scenario.ranks != config.device.ranks:
         device = DeviceConfig.ddr5_4800(rows_per_bank=4096,
                                         ranks=scenario.ranks)
@@ -293,6 +353,17 @@ def simplifications(scenario: Scenario) -> List[Scenario]:
         candidates.append(replace(scenario, instruction_limit=None))
     if scenario.breakhammer:
         candidates.append(replace(scenario, breakhammer=False))
+    if scenario.mitigation_kwargs:
+        # Drop all overrides first, then one at a time.
+        candidates.append(replace(scenario, mitigation_kwargs=()))
+        if len(scenario.mitigation_kwargs) > 1:
+            candidates.extend(
+                replace(scenario, mitigation_kwargs=tuple(
+                    kv for j, kv in enumerate(scenario.mitigation_kwargs)
+                    if j != i
+                ))
+                for i in range(len(scenario.mitigation_kwargs))
+            )
     if scenario.entries_per_core > 300:
         candidates.append(replace(
             scenario, entries_per_core=scenario.entries_per_core // 2))

@@ -1,0 +1,126 @@
+"""Numpy-backed trace characterisation is result-identical to the scalar path.
+
+``Trace.characterize(backend="numpy")`` vectorises the Table 3 quantities
+over the columnar address/bubble columns (one ``AddressMapper.map_row_ids``
+pass + ``np.unique``); this suite pins bit-identical equality with the
+reference scalar loop across mapping schemes, device geometries, window
+prefixes, and every kind of generated workload trace.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.cpu.trace import Trace
+from repro.dram.address import AddressMapper, MappingScheme
+from repro.dram.config import DeviceConfig
+from repro.workloads.attacker import AttackerConfig
+from repro.workloads.characteristics import characterize_trace
+from repro.workloads.mixes import make_mix
+
+SCHEMES = (MappingScheme.MOP, MappingScheme.ROW_INTERLEAVED,
+           MappingScheme.BANK_INTERLEAVED)
+
+
+def random_trace(seed: int, entries: int = 4_000,
+                 footprint: int = 1 << 26) -> Trace:
+    rng = random.Random(seed)
+    bubbles = [rng.randrange(0, 12) for _ in range(entries)]
+    addresses = [rng.randrange(0, footprint) for _ in range(entries)]
+    flags = [rng.randrange(0, 4) for _ in range(entries)]
+    return Trace.from_columns(bubbles, addresses, flags,
+                              name=f"rand{seed}")
+
+
+def assert_backends_identical(trace: Trace, mapper: AddressMapper,
+                              window_entries=None) -> None:
+    scalar = trace.characterize(mapper, window_entries=window_entries,
+                                backend="scalar")
+    vectorised = trace.characterize(mapper, window_entries=window_entries,
+                                    backend="numpy")
+    assert dataclasses.asdict(scalar) == dataclasses.asdict(vectorised)
+
+
+class TestRowIdBijection:
+    """row_id / map_row_ids agree with the scalar row_key decomposition."""
+
+    @pytest.mark.parametrize("scheme", SCHEMES, ids=[s.value for s in SCHEMES])
+    @pytest.mark.parametrize("ranks", [1, 2])
+    def test_packed_ids_match_scalar_decode(self, scheme, ranks):
+        device = DeviceConfig.ddr5_4800(rows_per_bank=1024, ranks=ranks)
+        mapper = AddressMapper(device, scheme)
+        rng = random.Random(7)
+        addresses = [rng.randrange(0, 1 << 30) for _ in range(2_000)]
+        vector = mapper.map_row_ids(np.asarray(addresses, dtype=np.uint64))
+        row_keys = {}
+        for address, row_id in zip(addresses, vector.tolist()):
+            key = mapper.map(address).row_key
+            assert mapper.row_id(mapper.map(address)) == row_id
+            # Bijection: one id <-> one row_key.
+            assert row_keys.setdefault(row_id, key) == key
+
+    def test_distinct_rows_distinct_ids(self):
+        device = DeviceConfig.ddr5_4800(rows_per_bank=64)
+        mapper = AddressMapper(device, MappingScheme.MOP)
+        ids = set()
+        keys = set()
+        for address in range(0, 1 << 22, 4096):
+            coord = mapper.map(address)
+            keys.add(coord.row_key)
+            ids.add(mapper.row_id(coord))
+        assert len(ids) == len(keys)
+
+
+class TestBackendEquivalence:
+    @pytest.mark.parametrize("scheme", SCHEMES, ids=[s.value for s in SCHEMES])
+    def test_random_traces(self, scheme):
+        device = DeviceConfig.ddr5_4800(rows_per_bank=2048)
+        mapper = AddressMapper(device, scheme)
+        for seed in range(4):
+            assert_backends_identical(random_trace(seed), mapper)
+
+    def test_window_prefixes(self):
+        mapper = AddressMapper(DeviceConfig.ddr5_4800(rows_per_bank=2048))
+        trace = random_trace(11)
+        for window in (1, 7, 100, len(trace), None):
+            assert_backends_identical(trace, mapper, window_entries=window)
+
+    def test_hot_row_counts_cross_thresholds(self):
+        """Concentrated hammering exercises the >512/>128/>64 buckets."""
+
+        device = DeviceConfig.ddr5_4800(rows_per_bank=256)
+        mapper = AddressMapper(device, MappingScheme.MOP)
+        rng = random.Random(3)
+        hot = [rng.randrange(0, 1 << 14) for _ in range(8)]
+        addresses = [rng.choice(hot) for _ in range(5_000)]
+        trace = Trace.from_columns([1] * len(addresses), addresses,
+                                   [0] * len(addresses), name="hot")
+        stats = trace.characterize(mapper, backend="numpy")
+        assert stats.rows_over_64 > 0  # the buckets are actually exercised
+        assert_backends_identical(trace, mapper)
+
+    def test_generated_mix_traces(self):
+        device = DeviceConfig.ddr5_4800(rows_per_bank=4096)
+        mix = make_mix("HMLA", device=device, entries_per_core=1_000,
+                       attacker_entries=1_500,
+                       attacker_config=AttackerConfig(entries=1_500, seed=0))
+        mapper = AddressMapper(device)
+        for trace in mix.traces:
+            assert_backends_identical(trace, mapper)
+
+    def test_characterize_trace_backend_passthrough(self):
+        trace = random_trace(5, entries=500)
+        scalar = characterize_trace(trace, backend="scalar")
+        vectorised = characterize_trace(trace, backend="numpy")
+        assert scalar == vectorised
+
+    def test_unknown_backend_rejected(self):
+        trace = random_trace(0, entries=10)
+        mapper = AddressMapper(DeviceConfig.ddr5_4800())
+        with pytest.raises(ValueError):
+            trace.characterize(mapper, backend="gpu")

@@ -1,0 +1,57 @@
+"""Examples smoke: every ``examples/*.py`` runs through the CLI path.
+
+``pytest -m examples_smoke`` executes each bundled example script in a
+subprocess at tiny scale (``REPRO_EXAMPLE_SCALE=tiny``), exactly the way
+``python -m repro.api examples --scale tiny`` does — so the examples, the
+``repro.api`` surface they demonstrate, and the CLI example runner are all
+covered inside tier-1 time.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.api.cli import EXAMPLE_SCALE_ENV, _examples_dir, run_examples
+
+pytestmark = pytest.mark.examples_smoke
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_discovered():
+    assert _examples_dir() == EXAMPLES_DIR
+    names = {script.name for script in SCRIPTS}
+    assert "quickstart.py" in names
+    assert len(SCRIPTS) >= 4
+
+
+@pytest.mark.parametrize("script", SCRIPTS, ids=[s.stem for s in SCRIPTS])
+def test_example_runs_at_tiny_scale(script):
+    env = dict(os.environ, **{EXAMPLE_SCALE_ENV: "tiny"})
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 0, (
+        f"{script.name} failed at tiny scale:\n"
+        f"stdout:\n{proc.stdout}\nstderr:\n{proc.stderr}"
+    )
+    assert proc.stdout.strip(), f"{script.name} printed nothing"
+
+
+def test_cli_example_runner_succeeds(capsys):
+    assert run_examples(scale="tiny") == 0
+    assert "examples succeeded" in capsys.readouterr().out
+
+
+def test_cli_example_runner_reports_missing_directory(tmp_path):
+    assert run_examples(scale="tiny", examples_dir=tmp_path / "void") == 1

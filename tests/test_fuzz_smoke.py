@@ -60,6 +60,18 @@ class TestCorpusShape:
         assert any(s.breakhammer for s in CORPUS)
         assert len({s.scheduler for s in CORPUS}) >= 2
 
+    def test_mitigation_kwargs_coverage(self):
+        """Mechanism internals are fuzzed for every mechanism with a pool."""
+
+        from repro.testing.scenarios import MITIGATION_KWARG_POOLS
+
+        sampled = {s.mechanism for s in CORPUS if s.mitigation_kwargs}
+        assert sampled == set(MITIGATION_KWARG_POOLS)
+        # Overrides stay harness-external: the executor differential only
+        # replays registry-default grid points.
+        assert all(not s.harness_shaped() for s in CORPUS
+                   if s.mitigation_kwargs)
+
     def test_generation_is_deterministic(self):
         assert fuzz_corpus() == CORPUS
         assert generate_scenarios(1, 5) == generate_scenarios(1, 5)
@@ -80,6 +92,15 @@ def test_serial_vs_process_pool_bit_identical():
     scenarios = executor_corpus()
     assert all(s.harness_shaped() for s in scenarios)
     mismatches = executor_differential(scenarios, jobs=2)
+    assert mismatches == []
+
+
+def test_executor_differential_tolerates_duplicate_scenarios():
+    """Campaigns can sample the same grid point twice; results must still
+    pair each scenario with its own run (submit_grid deduplicates)."""
+
+    base = executor_corpus()[:2]
+    mismatches = executor_differential([*base, base[0]], jobs=2)
     assert mismatches == []
 
 
