@@ -10,8 +10,8 @@ drop is smaller but the ordering and the downward trend hold.
 from conftest import run_once
 
 
-def test_fig02_motivation(benchmark, runner, emit):
-    figure = run_once(benchmark, runner.figure2)
+def test_fig02_motivation(benchmark, session, emit):
+    figure = run_once(benchmark, session.figure, "fig2")
     emit(figure)
     for label, series in figure.series.items():
         # Overhead must not shrink as N_RH decreases (downward trend).

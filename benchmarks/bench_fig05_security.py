@@ -13,8 +13,8 @@ import pytest
 from conftest import run_once
 
 
-def test_fig05_security_bound(benchmark, runner, emit):
-    figure = run_once(benchmark, runner.figure5)
+def test_fig05_security_bound(benchmark, session, emit):
+    figure = run_once(benchmark, session.figure, "fig5")
     emit(figure)
     idx_50 = figure.x_values.index(50)
     idx_90 = figure.x_values.index(90)

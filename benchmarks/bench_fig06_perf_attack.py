@@ -10,9 +10,9 @@ smaller magnitude.
 from conftest import run_once
 
 
-def test_fig06_performance_under_attack(benchmark, runner, emit):
-    nrh = min(256, runner.config.nrh_default)
-    figure = run_once(benchmark, runner.figure6, nrh=nrh)
+def test_fig06_performance_under_attack(benchmark, session, emit):
+    nrh = min(256, session.spec.nrh_default)
+    figure = run_once(benchmark, session.figure, "fig6", nrh=nrh)
     emit(figure)
     geomeans = [series.values[-1] for series in figure.series.values()]
     # BreakHammer must help on average across mechanisms.

@@ -8,9 +8,9 @@ reduction of 45.8% at N_RH = 1K).
 from conftest import run_once
 
 
-def test_fig07_unfairness_under_attack(benchmark, runner, emit):
-    nrh = min(256, runner.config.nrh_default)
-    figure = run_once(benchmark, runner.figure7, nrh=nrh)
+def test_fig07_unfairness_under_attack(benchmark, session, emit):
+    nrh = min(256, session.spec.nrh_default)
+    figure = run_once(benchmark, session.figure, "fig7", nrh=nrh)
     emit(figure)
     geomeans = [series.values[-1] for series in figure.series.values()]
     # Unfairness should not systematically worsen; most mechanisms improve.

@@ -9,16 +9,16 @@ above their baselines, and the gap widens as N_RH shrinks.
 from conftest import run_once
 
 
-def test_fig08_performance_scaling(benchmark, runner, emit):
-    figure = run_once(benchmark, runner.figure8)
+def test_fig08_performance_scaling(benchmark, session, emit):
+    figure = run_once(benchmark, session.figure, "fig8")
     emit(figure)
     low_idx = len(figure.x_values) - 1  # smallest N_RH
     improvements = 0
-    for mechanism in runner.config.mechanisms:
+    for mechanism in session.spec.mechanisms:
         base = figure.get(mechanism).values[low_idx]
         paired = figure.get(f"{mechanism}+BH").values[low_idx]
         if paired >= base - 1e-6:
             improvements += 1
     # At the lowest threshold BreakHammer helps (or at least never hurts)
     # for the majority of mechanisms.
-    assert improvements >= len(runner.config.mechanisms) * 2 // 3
+    assert improvements >= len(session.spec.mechanisms) * 2 // 3

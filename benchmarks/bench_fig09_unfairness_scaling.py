@@ -8,8 +8,8 @@ of 31.5% relative to the mechanisms alone).
 from conftest import run_once
 
 
-def test_fig09_unfairness_scaling(benchmark, runner, emit):
-    figure = run_once(benchmark, runner.figure9)
+def test_fig09_unfairness_scaling(benchmark, session, emit):
+    figure = run_once(benchmark, session.figure, "fig9")
     emit(figure)
     assert all(label.endswith("+BH") for label in figure.series)
     for series in figure.series.values():

@@ -10,11 +10,11 @@ on average.
 from conftest import run_once
 
 
-def test_fig10_preventive_actions(benchmark, runner, emit):
-    figure = run_once(benchmark, runner.figure10)
+def test_fig10_preventive_actions(benchmark, session, emit):
+    figure = run_once(benchmark, session.figure, "fig10")
     emit(figure)
     assert not any(label.startswith("rega") for label in figure.series)
-    for mechanism in runner.config.mechanisms:
+    for mechanism in session.spec.mechanisms:
         if mechanism == "rega":
             continue
         base = figure.get(mechanism).values

@@ -10,17 +10,17 @@ bank interference.
 from conftest import run_once
 
 
-def test_fig11_latency_under_attack(benchmark, runner, emit):
-    figure = run_once(benchmark, runner.figure11)
+def test_fig11_latency_under_attack(benchmark, session, emit):
+    figure = run_once(benchmark, session.figure, "fig11")
     emit(figure)
     for series in figure.series.values():
         assert series.values == sorted(series.values)  # percentiles monotone
     # BreakHammer should not raise the benign tail latency for most
     # mechanisms at the lowest threshold.
     better = 0
-    for mechanism in runner.config.mechanisms:
+    for mechanism in session.spec.mechanisms:
         base_tail = figure.get(mechanism).values[-1]
         bh_tail = figure.get(f"{mechanism}+BH").values[-1]
         if bh_tail <= base_tail * 1.10:
             better += 1
-    assert better >= len(runner.config.mechanisms) // 2
+    assert better >= len(session.spec.mechanisms) // 2

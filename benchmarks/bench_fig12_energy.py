@@ -10,10 +10,10 @@ with preventive work, BreakHammer curbs it) is what is checked.
 from conftest import run_once
 
 
-def test_fig12_dram_energy(benchmark, runner, emit):
-    figure = run_once(benchmark, runner.figure12)
+def test_fig12_dram_energy(benchmark, session, emit):
+    figure = run_once(benchmark, session.figure, "fig12")
     emit(figure)
-    for mechanism in runner.config.mechanisms:
+    for mechanism in session.spec.mechanisms:
         base = figure.get(mechanism).values
         paired = figure.get(f"{mechanism}+BH").values
         assert all(v > 0 for v in base + paired)

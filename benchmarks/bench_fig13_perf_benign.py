@@ -8,8 +8,8 @@ must be performance-neutral for benign workloads.
 from conftest import run_once
 
 
-def test_fig13_benign_performance(benchmark, runner, emit):
-    figure = run_once(benchmark, runner.figure13)
+def test_fig13_benign_performance(benchmark, session, emit):
+    figure = run_once(benchmark, session.figure, "fig13")
     emit(figure)
     for series in figure.series.values():
         geomean = series.values[-1]

@@ -7,8 +7,8 @@ increase, i.e. essentially neutral.
 from conftest import run_once
 
 
-def test_fig14_benign_unfairness(benchmark, runner, emit):
-    figure = run_once(benchmark, runner.figure14)
+def test_fig14_benign_unfairness(benchmark, session, emit):
+    figure = run_once(benchmark, session.figure, "fig14")
     emit(figure)
     for series in figure.series.values():
         assert 0.7 <= series.values[-1] <= 1.35

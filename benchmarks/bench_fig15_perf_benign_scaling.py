@@ -7,8 +7,8 @@ improvements below N_RH = 1024 and neutrality elsewhere.
 from conftest import run_once
 
 
-def test_fig15_benign_performance_scaling(benchmark, runner, emit):
-    figure = run_once(benchmark, runner.figure15)
+def test_fig15_benign_performance_scaling(benchmark, session, emit):
+    figure = run_once(benchmark, session.figure, "fig15")
     emit(figure)
     for series in figure.series.values():
         assert all(0.8 <= v <= 1.25 for v in series.values)

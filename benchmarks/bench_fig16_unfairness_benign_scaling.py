@@ -9,8 +9,8 @@ preventive actions and are occasionally misflagged (18.7% of simulations).
 from conftest import run_once
 
 
-def test_fig16_benign_unfairness_scaling(benchmark, runner, emit):
-    figure = run_once(benchmark, runner.figure16)
+def test_fig16_benign_unfairness_scaling(benchmark, session, emit):
+    figure = run_once(benchmark, session.figure, "fig16")
     emit(figure)
     for series in figure.series.values():
         # Bounded excursions, mirroring the paper's reported range.

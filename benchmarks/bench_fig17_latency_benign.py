@@ -7,10 +7,10 @@ workloads at any percentile.
 from conftest import run_once
 
 
-def test_fig17_latency_benign(benchmark, runner, emit):
-    figure = run_once(benchmark, runner.figure17)
+def test_fig17_latency_benign(benchmark, session, emit):
+    figure = run_once(benchmark, session.figure, "fig17")
     emit(figure)
-    for mechanism in runner.config.mechanisms:
+    for mechanism in session.spec.mechanisms:
         base = figure.get(mechanism).values
         paired = figure.get(f"{mechanism}+BH").values
         # Median benign latency must not be degraded beyond noise.

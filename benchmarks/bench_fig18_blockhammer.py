@@ -10,8 +10,8 @@ of it.
 from conftest import run_once
 
 
-def test_fig18_blockhammer_comparison(benchmark, runner, emit):
-    figure = run_once(benchmark, runner.figure18)
+def test_fig18_blockhammer_comparison(benchmark, session, emit):
+    figure = run_once(benchmark, session.figure, "fig18")
     emit(figure)
     block = figure.get("blockhammer").values
     # BlockHammer degrades as N_RH shrinks.
@@ -19,7 +19,7 @@ def test_fig18_blockhammer_comparison(benchmark, runner, emit):
     # At the lowest N_RH, the majority of BreakHammer-paired mechanisms beat
     # BlockHammer (the paper: all of them do).
     wins = sum(
-        1 for mechanism in runner.config.mechanisms
+        1 for mechanism in session.spec.mechanisms
         if figure.get(f"{mechanism}+BH").values[-1] >= block[-1] - 1e-6
     )
-    assert wins >= len(runner.config.mechanisms) * 2 // 3
+    assert wins >= len(session.spec.mechanisms) * 2 // 3

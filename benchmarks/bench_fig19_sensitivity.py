@@ -10,8 +10,8 @@ staying near-neutral for benign workloads.
 from conftest import run_once
 
 
-def test_fig19_th_threat_sensitivity(benchmark, runner, emit):
-    figure = run_once(benchmark, runner.figure19)
+def test_fig19_th_threat_sensitivity(benchmark, session, emit):
+    figure = run_once(benchmark, session.figure, "fig19")
     emit(figure)
     attack_series = [s for name, s in figure.series.items()
                      if name.startswith("attack")]

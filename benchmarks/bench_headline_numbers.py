@@ -10,8 +10,8 @@ directions.
 from conftest import run_once
 
 
-def test_headline_numbers(benchmark, runner, emit):
-    numbers = run_once(benchmark, runner.headline_numbers)
+def test_headline_numbers(benchmark, session, emit):
+    numbers = run_once(benchmark, session.headline_numbers)
     print("\nheadline aggregates (attacker present, lowest N_RH):")
     for key, value in numbers.items():
         print(f"  {key}: {value:.3f}")

@@ -5,8 +5,8 @@ import pytest
 from conftest import run_once
 
 
-def test_hardware_complexity(benchmark, runner, emit):
-    table = run_once(benchmark, runner.hardware_complexity)
+def test_hardware_complexity(benchmark, session, emit):
+    table = run_once(benchmark, session.table, "hw")
     emit(table)
     values = {row["quantity"]: row["value"] for row in table.rows}
     assert values["bits_per_thread"] == 82

@@ -1,35 +1,38 @@
-"""Wall-clock scaling of the parallel sweep executor.
+"""Wall-clock scaling of the parallel sweep backends.
 
 Runs the same fig. 6/8-style (mix, mechanism, N_RH, BreakHammer) grid with
-1, 2, and 4 worker processes — a **fresh runner with cold caches per
-measurement**, so each timing covers the full grid execution.  On a
-multi-core host the recorded wall-clock time shrinks as the worker count
-grows (the grid is embarrassingly parallel; PR-level speedup is bounded by
-the slowest single run and by pool start-up); on a single-core host the
-timings degrade gracefully to roughly serial cost plus pool overhead.
+1, 2, and 4 process-pool workers **and through the cluster backend**
+(socket broker + 2 spawned local workers, mmap'd trace spool) — a **fresh
+session with cold caches per measurement**, so each timing covers the full
+grid execution.  On a multi-core host the recorded wall-clock time shrinks
+as the worker count grows (the grid is embarrassingly parallel; speedup is
+bounded by the slowest single run plus pool/broker start-up); on a
+single-core host the timings degrade gracefully to roughly serial cost
+plus fabric overhead.
 
-Parallel results are bit-identical to serial ones — asserted here on the
-figure aggregates, and in detail by ``tests/test_sweep_executor.py``.
+Every backend is bit-identical to serial — asserted here on the figure
+aggregates, and in detail by ``tests/test_sweep_executor.py`` (process
+pool) and ``tests/test_cluster.py`` (cluster).
 
-Worker counts can be overridden via ``REPRO_SCALING_JOBS`` (comma-separated
-list, default ``1,2,4``).
+Measured modes can be overridden via ``REPRO_SCALING_JOBS`` (comma-
+separated; integers are process-pool worker counts, ``clusterN`` is the
+cluster backend with N spawned workers; default ``1,2,4,cluster2``).
 """
 
 from __future__ import annotations
 
-import dataclasses
 import os
 
 import pytest
 
-from repro.analysis.experiments import ExperimentRunner, HarnessConfig
+from repro.api import ExperimentSpec, Session
 
 from conftest import run_once
 
 #: The swept grid: one attack mix, three mechanisms, two thresholds —
 #: 12 simulation grid points + the no-mitigation baseline + standalone-IPC
 #: baselines, exactly the shape behind Figs. 6 and 8.
-_SCALING_PROFILE = HarnessConfig(
+_SCALING_SPEC = ExperimentSpec(
     sim_cycles=4_000,
     entries_per_core=1_500,
     attacker_entries=2_000,
@@ -41,9 +44,9 @@ _SCALING_PROFILE = HarnessConfig(
 )
 
 
-def _job_counts():
-    raw = os.environ.get("REPRO_SCALING_JOBS", "1,2,4")
-    return [int(part) for part in raw.split(",") if part.strip()]
+def _modes():
+    raw = os.environ.get("REPRO_SCALING_JOBS", "1,2,4,cluster2")
+    return [part.strip() for part in raw.split(",") if part.strip()]
 
 
 #: Serial reference aggregates, computed once and compared against every
@@ -52,20 +55,28 @@ def _job_counts():
 _REFERENCE = {}
 
 
-def _sweep(jobs: int):
+def _open_session(mode: str) -> Session:
     # cache_dir="" force-disables the disk cache even when REPRO_CACHE_DIR
     # is exported: every measurement must run the full grid cold.
-    config = dataclasses.replace(_SCALING_PROFILE, jobs=jobs, cache_dir="")
-    with ExperimentRunner(config) as runner:
-        fig6 = runner.figure6(nrh=64)
-        fig8 = runner.figure8()
-        return fig6, fig8, runner.runs_executed
+    if mode.startswith("cluster"):
+        workers = int(mode[len("cluster"):] or 2)
+        return Session(_SCALING_SPEC, backend="cluster", workers=workers,
+                       cache_dir="")
+    return Session(_SCALING_SPEC, jobs=int(mode), backend="local",
+                   cache_dir="")
+
+
+def _sweep(mode: str):
+    with _open_session(mode) as session:
+        fig6 = session.figure("fig6", nrh=64)
+        fig8 = session.figure("fig8")
+        return fig6, fig8, session.runs_executed
 
 
 @pytest.mark.bench_smoke
-@pytest.mark.parametrize("jobs", _job_counts())
-def test_sweep_scaling(benchmark, jobs):
-    fig6, fig8, runs = run_once(benchmark, _sweep, jobs)
+@pytest.mark.parametrize("mode", _modes())
+def test_sweep_scaling(benchmark, mode):
+    fig6, fig8, runs = run_once(benchmark, _sweep, mode)
     assert runs > 0
     if not _REFERENCE:
         _REFERENCE["fig6"], _REFERENCE["fig8"] = fig6.as_dict(), fig8.as_dict()

@@ -3,8 +3,8 @@
 from conftest import run_once
 
 
-def test_table1_system_configuration(benchmark, runner, emit):
-    table = run_once(benchmark, runner.table1)
+def test_table1_system_configuration(benchmark, session, emit):
+    table = run_once(benchmark, session.table, "table1")
     emit(table)
     components = dict(zip(table.column("component"), table.column("parameters")))
     assert components["processor"]["cores"] == 4

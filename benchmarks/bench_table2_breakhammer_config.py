@@ -3,8 +3,8 @@
 from conftest import run_once
 
 
-def test_table2_breakhammer_configuration(benchmark, runner, emit):
-    table = run_once(benchmark, runner.table2)
+def test_table2_breakhammer_configuration(benchmark, session, emit):
+    table = run_once(benchmark, session.table, "table2")
     emit(table)
     rows = {row["parameter"]: row for row in table.rows}
     assert rows["TH_window_ms"]["paper_value"] == 64.0

@@ -7,10 +7,10 @@ its trace suite, and prints the paper's reference rows alongside.
 from conftest import run_once
 
 
-def test_table3_workload_characteristics(benchmark, runner, emit):
-    table = run_once(benchmark, runner.table3)
+def test_table3_workload_characteristics(benchmark, session, emit):
+    table = run_once(benchmark, session.table, "table3")
     emit(table)
-    emit(runner.paper_table3())
+    emit(session.table("table3_paper"))
     assert table.rows[-1]["Workload"] == "Average"
     rbmpkis = [row["RBMPKI"] for row in table.rows[:-1]]
     assert rbmpkis == sorted(rbmpkis, reverse=True)

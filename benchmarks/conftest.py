@@ -1,10 +1,11 @@
 """Shared fixtures for the benchmark harness.
 
-Every benchmark regenerates one of the paper's tables or figures through the
-:class:`repro.analysis.experiments.ExperimentRunner`.  A single
-session-scoped runner is shared by all benchmarks so that simulations common
-to several figures (e.g. the N_RH sweep behind Figs. 8, 9, 10 and 12) are
-executed only once and memoised.
+Every benchmark regenerates one of the paper's tables or figures through
+the declarative :class:`repro.api.Session` surface (the legacy
+``ExperimentRunner`` facade is deprecated — its constructor warns).  A
+single session-scoped :class:`~repro.api.Session` is shared by all
+benchmarks so that simulations common to several figures (e.g. the N_RH
+sweep behind Figs. 8, 9, 10 and 12) are executed only once and memoised.
 
 Scale is controlled by the ``REPRO_BENCH_PROFILE`` environment variable:
 
@@ -22,12 +23,14 @@ Both engines produce identical statistics (asserted by
 ``tests/test_engine_equivalence.py``); the variable exists so regressions in
 either engine can be timed and bisected independently.
 
-Sweep execution is controlled by two more variables (see ROADMAP.md
+Sweep execution is controlled by three more variables (see ROADMAP.md
 "Running sweeps"):
 
 * ``REPRO_JOBS`` — worker-process count for the parallel sweep executor
   (default 1 = serial; parallel sweeps are bit-identical to serial ones,
   asserted by ``tests/test_sweep_executor.py``);
+* ``REPRO_BACKEND`` — sweep fabric: ``local`` (default) or ``cluster``
+  (socket broker/workers, see ``python -m repro.cluster``);
 * ``REPRO_CACHE_DIR`` — directory of the persistent on-disk run cache;
   when set, grid points computed by an earlier invocation (or another
   process) are loaded instead of re-simulated.  Entries are namespaced by
@@ -46,7 +49,6 @@ The sibling ``fuzz_smoke`` marker selects the differential-fuzz corpus
 
 from __future__ import annotations
 
-import dataclasses
 import os
 import sys
 from pathlib import Path
@@ -57,34 +59,25 @@ _SRC = Path(__file__).resolve().parent.parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
-from repro.analysis.experiments import ExperimentRunner, HarnessConfig  # noqa: E402
 from repro.analysis.report import render_figure, render_table  # noqa: E402
-from repro.api.session import resolve_engine  # noqa: E402
+from repro.api import ExperimentSpec, Session  # noqa: E402
 
 
-def _profile() -> HarnessConfig:
+def _spec() -> ExperimentSpec:
     name = os.environ.get("REPRO_BENCH_PROFILE", "fast").lower()
-    if name == "full":
-        config = HarnessConfig()
-    elif name == "smoke":
-        config = HarnessConfig.smoke()
-    else:
-        config = HarnessConfig.fast()
-    # Engine precedence lives in one place (repro.api.session); the
-    # harness profiles leave `engine` at its default, so REPRO_ENGINE
-    # applies unless a profile ever pins one explicitly.
-    engine = resolve_engine(None)
-    # jobs=0 / cache_dir=None defer to REPRO_JOBS / REPRO_CACHE_DIR inside
-    # the runner; the explicit replace keeps the wiring visible here.
-    return dataclasses.replace(config, engine=engine, jobs=0, cache_dir=None)
+    if name not in ("full", "smoke"):
+        name = "fast"
+    # The spec leaves `engine` unpinned, so Session's resolve_execution
+    # applies REPRO_ENGINE (and REPRO_JOBS / REPRO_BACKEND /
+    # REPRO_CACHE_DIR) through the one documented precedence chain.
+    return ExperimentSpec.profile(name)
 
 
 @pytest.fixture(scope="session")
-def runner() -> ExperimentRunner:
-    instance = ExperimentRunner(_profile())
-    yield instance
-    # Shut the parallel executor's worker pool down with the session.
-    instance.close()
+def session() -> Session:
+    with Session(_spec()) as instance:
+        yield instance
+    # Session.__exit__ shuts the worker pool / cluster broker down.
 
 
 _RESULTS_DIR = Path(__file__).resolve().parent / "results"

@@ -49,6 +49,14 @@ from typing import Dict, List, Optional, Sequence, Tuple
 #: Environment variable selecting the sweep worker count.
 JOBS_ENV = "REPRO_JOBS"
 
+#: Environment variable selecting the sweep execution backend.
+BACKEND_ENV = "REPRO_BACKEND"
+
+#: Known sweep execution backends: ``"local"`` is serial-or-process-pool
+#: (``jobs`` decides), ``"cluster"`` is the socket broker/worker fabric
+#: (:mod:`repro.cluster`).
+SWEEP_BACKENDS = ("local", "cluster")
+
 #: Task kinds understood by the executors.
 TASK_RUN = "run"
 TASK_ALONE = "alone"
@@ -230,6 +238,21 @@ def evaluate_task(runner, task: RunTask):
     raise ValueError(f"unknown sweep task kind {task.kind!r}")
 
 
+def resolve_backend(requested: Optional[str] = None) -> str:
+    """The effective backend: explicit request, else $REPRO_BACKEND, else local."""
+
+    backend = requested
+    if backend is None:
+        backend = os.environ.get(BACKEND_ENV, "").strip().lower() or "local"
+    if backend not in SWEEP_BACKENDS:
+        raise ValueError(
+            f"unknown sweep backend {backend!r} (from "
+            f"{'argument/config' if requested else BACKEND_ENV}); "
+            f"expected one of {SWEEP_BACKENDS}"
+        )
+    return backend
+
+
 def resolve_jobs(requested: int = 0) -> int:
     """The effective worker count: explicit request, else $REPRO_JOBS, else 1."""
 
@@ -295,7 +318,7 @@ def _worker_init(harness_config) -> None:
     global _WORKER_RUNNER
     from repro.analysis.experiments import ExperimentRunner
 
-    _WORKER_RUNNER = ExperimentRunner(harness_config)
+    _WORKER_RUNNER = ExperimentRunner(harness_config, _api_owned=True)
 
 
 def _worker_execute(task: RunTask):
@@ -310,8 +333,11 @@ class ProcessPoolSweepExecutor(SweepExecutor):
     def __init__(self, harness_config, jobs: int) -> None:
         if jobs < 2:
             raise ValueError("a process pool needs at least two workers")
-        # Workers run strictly serially (jobs=1): no nested pools.
-        self._worker_config = dataclasses.replace(harness_config, jobs=1)
+        # Workers run strictly serially (jobs=1) on the local backend: no
+        # nested pools, and no worker hosting a cluster broker because the
+        # parent environment exports REPRO_BACKEND=cluster.
+        self._worker_config = dataclasses.replace(harness_config, jobs=1,
+                                                  backend="local")
         self.jobs = jobs
         self._pool: Optional[ProcessPoolExecutor] = None
 
@@ -342,9 +368,25 @@ class ProcessPoolSweepExecutor(SweepExecutor):
 
 
 def make_executor(runner) -> SweepExecutor:
-    """Build the executor selected by ``runner.config`` / ``$REPRO_JOBS``."""
+    """Build the executor selected by ``runner.config`` / the environment.
 
-    jobs = resolve_jobs(getattr(runner.config, "jobs", 0))
+    ``backend`` (config field, else ``$REPRO_BACKEND``) picks the fabric:
+    ``"cluster"`` hosts a :class:`repro.cluster.ClusterExecutor` broker;
+    ``"local"`` picks serial vs process pool by ``jobs``/``$REPRO_JOBS``.
+    """
+
+    config = runner.config
+    backend = resolve_backend(getattr(config, "backend", None))
+    if backend == "cluster":
+        from repro.cluster.executor import ClusterExecutor
+
+        return ClusterExecutor(
+            config,
+            broker=getattr(config, "broker", None),
+            workers=getattr(config, "cluster_workers", 0),
+            cache=runner.disk_cache,
+        )
+    jobs = resolve_jobs(getattr(config, "jobs", 0))
     if jobs <= 1:
         return SerialSweepExecutor(runner)
-    return ProcessPoolSweepExecutor(runner.config, jobs)
+    return ProcessPoolSweepExecutor(config, jobs)

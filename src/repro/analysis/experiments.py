@@ -30,6 +30,7 @@ EXPERIMENTS.md for the paper-vs-measured record.
 from __future__ import annotations
 
 import dataclasses
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -93,9 +94,17 @@ class HarnessConfig:
     ``cache_dir`` points the persistent on-disk run cache at a directory:
     ``None`` (default) defers to ``REPRO_CACHE_DIR``, an empty string
     force-disables the cache even when that variable is exported, and
-    when neither names a directory the disk cache is off.  Neither knob
-    affects simulation *results*, so both are excluded from the cache
-    fingerprint.
+    when neither names a directory the disk cache is off.
+
+    ``backend`` selects the sweep execution fabric: ``"local"`` (serial or
+    process pool, per ``jobs``), ``"cluster"`` (socket broker + workers,
+    see :mod:`repro.cluster`), or ``None`` to defer to ``REPRO_BACKEND``.
+    ``broker`` is the cluster listen address (``host:port`` /
+    ``unix:/path``), ``cluster_workers`` auto-spawns that many co-located
+    worker processes, and ``spool_dir`` names a columnar trace spool
+    workers mmap instead of regenerating (see
+    :mod:`repro.workloads.spool`).  None of these execution knobs affects
+    simulation *results*, so all are excluded from the cache fingerprint.
     """
 
     sim_cycles: int = 25_000
@@ -113,6 +122,10 @@ class HarnessConfig:
     engine: str = "fast"
     jobs: int = 0
     cache_dir: Optional[str] = None
+    backend: Optional[str] = None
+    broker: Optional[str] = None
+    cluster_workers: int = 0
+    spool_dir: Optional[str] = None
 
     def simulation_config(self) -> SimulationConfig:
         """The per-run simulation bounds this harness profile implies."""
@@ -122,13 +135,16 @@ class HarnessConfig:
     def result_fingerprint(self) -> str:
         """Digest of every field that can affect simulation results.
 
-        Execution knobs (``jobs``, ``cache_dir``) are normalised out: a
-        sweep must hit the same disk-cache namespace no matter how it is
-        executed.
+        Execution knobs (``jobs``, ``cache_dir``, ``backend``/``broker``/
+        ``cluster_workers``, ``spool_dir``) are normalised out: a sweep
+        must hit the same disk-cache namespace no matter how — or where —
+        it is executed.
         """
 
         return config_fingerprint(
-            dataclasses.replace(self, jobs=0, cache_dir=None)
+            dataclasses.replace(self, jobs=0, cache_dir=None, backend=None,
+                                broker=None, cluster_workers=0,
+                                spool_dir=None)
         )
 
     @classmethod
@@ -166,7 +182,11 @@ class HarnessConfig:
     # ------------------------------------------------------------------ #
     @classmethod
     def from_spec(cls, spec, jobs: int = 0,
-                  cache_dir: Optional[str] = None) -> "HarnessConfig":
+                  cache_dir: Optional[str] = None,
+                  backend: Optional[str] = None,
+                  broker: Optional[str] = None,
+                  cluster_workers: int = 0,
+                  spool_dir: Optional[str] = None) -> "HarnessConfig":
         """The harness profile an :class:`repro.api.ExperimentSpec` implies.
 
         The spec must carry a resolved engine (sessions resolve it through
@@ -194,6 +214,10 @@ class HarnessConfig:
             engine=spec.engine,
             jobs=jobs,
             cache_dir=cache_dir,
+            backend=backend,
+            broker=broker,
+            cluster_workers=cluster_workers,
+            spool_dir=spool_dir,
         )
 
     def to_spec(self):
@@ -265,6 +289,35 @@ TABLES: Dict[str, str] = {
     "hw": "hardware_complexity",
 }
 
+#: The one deprecation message of the legacy facade (pytest.ini filters it
+#: in tier-1; user code migrates to repro.api per the ROADMAP timeline).
+_DEPRECATION_MESSAGE = (
+    "ExperimentRunner/HarnessConfig are deprecated as a public entry point; "
+    "describe sweeps with repro.api.ExperimentSpec and execute them through "
+    "repro.api.Session (see ROADMAP.md 'Running sweeps')"
+)
+
+
+def harness_fingerprint(config: HarnessConfig) -> str:
+    """The cache-namespace fingerprint a harness configuration implies.
+
+    Digests the result-affecting harness fields, the derived base
+    :class:`SystemConfig`, and the per-run :class:`SimulationConfig` —
+    exactly what :class:`ExperimentRunner` computes for its run cache, and
+    what the :mod:`repro.cluster` broker stamps on every unit of work so a
+    worker built from a different spec can never contribute a result.
+    """
+
+    base_system = SystemConfig.fast_profile(
+        sim_cycles=config.sim_cycles,
+        threat_threshold=config.threat_threshold,
+        outlier_threshold=config.outlier_threshold,
+    )
+    return config_fingerprint(
+        config.result_fingerprint(), base_system,
+        config.simulation_config(),
+    )
+
 
 class ExperimentRunner:
     """Runs and memoises the simulations behind every figure.
@@ -281,7 +334,14 @@ class ExperimentRunner:
        ``HarnessConfig.jobs`` / ``REPRO_JOBS`` asks for more than one.
     """
 
-    def __init__(self, config: Optional[HarnessConfig] = None) -> None:
+    def __init__(self, config: Optional[HarnessConfig] = None, *,
+                 _api_owned: bool = False) -> None:
+        if not _api_owned:
+            # The deprecation clock of the legacy facade (ROADMAP timeline):
+            # internal owners — Session, the sweep/cluster workers — pass
+            # _api_owned, so only *direct* construction warns.
+            warnings.warn(_DEPRECATION_MESSAGE, DeprecationWarning,
+                          stacklevel=2)
         self.config = config or HarnessConfig()
         self._mix_cache: Dict[Tuple[str, int, int, int], WorkloadMix] = {}
         self._run_cache: Dict[RunKey, RunStatistics] = {}
@@ -291,11 +351,7 @@ class ExperimentRunner:
             threat_threshold=self.config.threat_threshold,
             outlier_threshold=self.config.outlier_threshold,
         )
-        self.fingerprint = config_fingerprint(
-            self.config.result_fingerprint(),
-            self._base_system,
-            self.config.simulation_config(),
-        )
+        self.fingerprint = harness_fingerprint(self.config)
         self._disk_cache: Optional[RunCache] = RunCache.from_env(
             self.fingerprint, cache_dir=self.config.cache_dir
         )
@@ -347,18 +403,40 @@ class ExperimentRunner:
         key = (name, seed, self.config.entries_per_core,
                self.config.attacker_entries)
         if key not in self._mix_cache:
-            self._mix_cache[key] = make_mix(
-                name,
-                device=self._base_system.device,
-                mapping=self._base_system.mapping,
-                entries_per_core=self.config.entries_per_core,
-                attacker_entries=self.config.attacker_entries,
-                seed=seed,
-                attacker_config=AttackerConfig(
-                    entries=self.config.attacker_entries, seed=seed
-                ),
-            )
+            # A reachable columnar spool (materialised once by the session
+            # that owns this spec) is mmap'd instead of regenerated, so
+            # co-located sweep workers share one physical copy of every
+            # trace through the page cache; the manifest pins scale, seed
+            # *and* this runner's fingerprint, and any mismatch or damage
+            # falls back to deterministic regeneration — the traces are
+            # byte-identical either way.
+            mix = self._spool_mix(name, seed)
+            if mix is None:
+                mix = make_mix(
+                    name,
+                    device=self._base_system.device,
+                    mapping=self._base_system.mapping,
+                    entries_per_core=self.config.entries_per_core,
+                    attacker_entries=self.config.attacker_entries,
+                    seed=seed,
+                    attacker_config=AttackerConfig(
+                        entries=self.config.attacker_entries, seed=seed
+                    ),
+                )
+            self._mix_cache[key] = mix
         return self._mix_cache[key]
+
+    def _spool_mix(self, name: str, seed: int) -> Optional[WorkloadMix]:
+        if not self.config.spool_dir:
+            return None
+        from repro.workloads.spool import TraceSpool
+
+        return TraceSpool(self.config.spool_dir).load_mix(
+            name, seed,
+            entries_per_core=self.config.entries_per_core,
+            attacker_entries=self.config.attacker_entries,
+            fingerprint=self.fingerprint,
+        )
 
     def run_key(self, mix_name: str, mechanism: str, nrh: int,
                 breakhammer: bool, seed: int = 0) -> RunKey:
@@ -441,12 +519,20 @@ class ExperimentRunner:
                 return ipc
         return None
 
-    def alone_ipc(self, trace: Trace) -> float:
-        """Standalone IPC of one trace on a single-core, no-mitigation system."""
+    def alone_baseline(self, trace: Trace) -> RunStatistics:
+        """The full statistics of one trace's standalone baseline run.
 
-        cached = self._cached_alone_ipc(trace)
-        if cached is not None:
-            return cached
+        Simulates (or loads from the disk cache) the single-core,
+        no-mitigation run :meth:`alone_ipc` derives its IPC from.  Cluster
+        workers return these statistics whole so the broker can persist
+        them through the shared run cache.
+        """
+
+        key = self._alone_disk_key(trace)
+        if self._disk_cache is not None:
+            stats = self._disk_cache.get(key)
+            if stats is not None:
+                return stats
         config = self._base_system.with_(
             num_cores=1, mitigation="none", breakhammer_enabled=False
         )
@@ -454,8 +540,16 @@ class ExperimentRunner:
                               self.config.simulation_config())
         stats = simulator.run().stats
         if self._disk_cache is not None:
-            self._disk_cache.put(self._alone_disk_key(trace), stats)
-        ipc = max(1e-6, stats.ipc_of(0))
+            self._disk_cache.put(key, stats)
+        return stats
+
+    def alone_ipc(self, trace: Trace) -> float:
+        """Standalone IPC of one trace on a single-core, no-mitigation system."""
+
+        cached = self._cached_alone_ipc(trace)
+        if cached is not None:
+            return cached
+        ipc = max(1e-6, self.alone_baseline(trace).ipc_of(0))
         self._alone_ipc_cache[(trace.name, len(trace))] = ipc
         return ipc
 

@@ -69,11 +69,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
     jobs = args.jobs if args.jobs is not None else spec_file.jobs
     cache_dir = (args.cache_dir if args.cache_dir is not None
                  else spec_file.cache_dir)
+    backend = args.backend if args.backend is not None else spec_file.backend
+    broker = args.broker if args.broker is not None else spec_file.broker
+    workers = args.workers if args.workers is not None else spec_file.workers
     out_dir = Path(args.out) if args.out else None
     with Session(spec_file.spec, jobs=jobs, cache_dir=cache_dir,
-                 engine=args.engine) as session:
+                 engine=args.engine, backend=backend, broker=broker,
+                 workers=workers) as session:
         print(f"spec fingerprint {session.fingerprint} | "
-              f"engine={session.engine} jobs={session.jobs} "
+              f"engine={session.engine} backend={session.backend} "
+              f"jobs={session.jobs} "
               f"cache={'on' if session.cache else 'off'}")
         wanted = [f for f in figures if f != "headline"]
         results = session.figures(wanted)
@@ -164,6 +169,14 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--engine", choices=("cycle", "fast"), default=None,
                      help="simulation engine (beats the spec and "
                           "REPRO_ENGINE)")
+    run.add_argument("--backend", choices=("local", "cluster"), default=None,
+                     help="sweep backend (beats [execution] and "
+                          "REPRO_BACKEND); 'cluster' hosts a socket broker "
+                          "— see python -m repro.cluster")
+    run.add_argument("--broker", default=None,
+                     help="cluster listen address (HOST:PORT or unix:/path)")
+    run.add_argument("--workers", type=int, default=None,
+                     help="co-located cluster worker processes to spawn")
     run.add_argument("--out", default=None,
                      help="directory for per-figure JSON dumps")
 

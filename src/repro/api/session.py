@@ -12,13 +12,25 @@ parallel executors, cold and warm caches).
 
 Execution-knob resolution (the one documented place)
 ----------------------------------------------------
-:func:`resolve_execution` is the **single** resolution point for the three
+:func:`resolve_execution` is the **single** resolution point for the
 execution knobs.  Precedence, highest first:
 
 1. explicit arguments — a ``Session(...)`` keyword, a CLI flag, or a
    pinned ``ExperimentSpec.engine`` field;
-2. the environment: ``REPRO_ENGINE``, ``REPRO_JOBS``, ``REPRO_CACHE_DIR``;
-3. defaults: the ``fast`` engine, serial execution (jobs=1), cache off.
+2. the environment: ``REPRO_ENGINE``, ``REPRO_JOBS``, ``REPRO_CACHE_DIR``,
+   ``REPRO_BACKEND``;
+3. defaults: the ``fast`` engine, serial execution (jobs=1), cache off,
+   the ``local`` backend.
+
+``backend="cluster"`` swaps the sweep executor for the socket
+broker/worker fabric (:mod:`repro.cluster`): the session hosts a
+:class:`~repro.cluster.broker.ClusterBroker` at ``broker=`` (default: an
+ephemeral local TCP port), optionally spawns ``workers=N`` co-located
+worker processes, and materialises the spec's traces to a columnar spool
+directory that co-located workers mmap instead of regenerating
+(:mod:`repro.workloads.spool`).  Figure streaming, caching, and results
+are unchanged — cluster sweeps are bit-identical to serial ones
+(``tests/test_cluster.py``).
 
 Explicit spec/session values therefore always beat ``REPRO_*`` variables.
 ``cache_dir=""`` (explicit empty string) force-disables the cache even when
@@ -29,14 +41,19 @@ Explicit spec/session values therefore always beat ``REPRO_*`` variables.
 from __future__ import annotations
 
 import os
+import shutil
+import tempfile
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.analysis.executor import (
+    BACKEND_ENV,
     JOBS_ENV,
     RunHandle,
     SweepPlan,
     iter_completed,
+    resolve_backend,
     resolve_jobs,
 )
 from repro.analysis.experiments import (
@@ -62,6 +79,7 @@ class ExecutionPlan:
     engine: str
     jobs: int
     cache_dir: Optional[str]
+    backend: str = "local"
 
 
 def resolve_engine(explicit: Optional[str] = None) -> str:
@@ -83,11 +101,13 @@ def resolve_engine(explicit: Optional[str] = None) -> str:
 def resolve_execution(spec: Optional[ExperimentSpec] = None,
                       jobs: Optional[int] = None,
                       cache_dir: Optional[str] = None,
-                      engine: Optional[str] = None) -> ExecutionPlan:
+                      engine: Optional[str] = None,
+                      backend: Optional[str] = None) -> ExecutionPlan:
     """Resolve every execution knob in one place (see the module docstring).
 
     ``engine`` (argument) beats ``spec.engine`` beats ``$REPRO_ENGINE``;
-    ``jobs``/``cache_dir`` arguments beat ``$REPRO_JOBS``/``$REPRO_CACHE_DIR``.
+    ``jobs``/``cache_dir``/``backend`` arguments beat ``$REPRO_JOBS``/
+    ``$REPRO_CACHE_DIR``/``$REPRO_BACKEND``.
     ``jobs=None`` defers to the environment; ``jobs=0`` does too (the legacy
     HarnessConfig convention).  ``cache_dir=None`` defers, ``""`` disables.
     """
@@ -96,6 +116,7 @@ def resolve_execution(spec: Optional[ExperimentSpec] = None,
         engine = spec.engine
     resolved_engine = resolve_engine(engine)
     resolved_jobs = resolve_jobs(jobs or 0)
+    resolved_backend = resolve_backend(backend)
     if cache_dir is None:
         cache_dir = os.environ.get(CACHE_DIR_ENV)
         if not cache_dir:
@@ -103,7 +124,7 @@ def resolve_execution(spec: Optional[ExperimentSpec] = None,
     elif cache_dir == "":
         cache_dir = None
     return ExecutionPlan(engine=resolved_engine, jobs=resolved_jobs,
-                         cache_dir=cache_dir)
+                         cache_dir=cache_dir, backend=resolved_backend)
 
 
 class Session:
@@ -129,19 +150,84 @@ class Session:
     def __init__(self, spec: Optional[ExperimentSpec] = None, *,
                  jobs: Optional[int] = None,
                  cache_dir: Optional[str] = None,
-                 engine: Optional[str] = None) -> None:
+                 engine: Optional[str] = None,
+                 backend: Optional[str] = None,
+                 broker: Optional[str] = None,
+                 workers: Optional[int] = None,
+                 spool_dir: Optional[str] = None) -> None:
         spec = spec if spec is not None else ExperimentSpec()
         self.execution = resolve_execution(spec, jobs=jobs,
-                                           cache_dir=cache_dir, engine=engine)
+                                           cache_dir=cache_dir,
+                                           engine=engine, backend=backend)
         self.spec = spec.resolved(self.execution.engine)
+        self._spool_owned: Optional[str] = None
+        resolved_spool = self._resolve_spool_dir(spool_dir)
         self._runner = ExperimentRunner(HarnessConfig.from_spec(
             self.spec,
             jobs=self.execution.jobs,
             # "" force-disables so an exported REPRO_CACHE_DIR can never
             # resurrect a cache the resolution chain decided against.
             cache_dir=self.execution.cache_dir or "",
-        ))
+            backend=self.execution.backend,
+            broker=broker,
+            cluster_workers=workers or 0,
+            spool_dir=resolved_spool,
+        ), _api_owned=True)
         self._closed = False
+        if resolved_spool is not None:
+            try:
+                self.materialise_spool()
+            except BaseException:
+                # Spooling failed (read-only/full filesystem): tear the
+                # half-built session down — worker pool / cluster broker
+                # included — instead of leaking it from a failed __init__.
+                self.close()
+                raise
+
+    def _resolve_spool_dir(self, spool_dir: Optional[str]) -> Optional[str]:
+        """Where this spec's traces spool to (``None`` = no spooling).
+
+        Cluster sessions always spool — that is how co-located workers
+        share page cache instead of regenerating traces — preferring a
+        stable per-spec directory under the run-cache root, else a
+        session-owned temporary directory.  Local sessions spool only when
+        ``spool_dir`` is passed explicitly.
+        """
+
+        if spool_dir is not None:
+            return str(Path(spool_dir).expanduser())
+        if self.execution.backend != "cluster":
+            return None
+        if self.execution.cache_dir:
+            return str(Path(self.execution.cache_dir).expanduser()
+                       / f"spool-{self.spec.fingerprint()}")
+        self._spool_owned = tempfile.mkdtemp(prefix="repro-spool-")
+        return self._spool_owned
+
+    def materialise_spool(self) -> int:
+        """Write the spec's mixes to the spool once; returns mixes written.
+
+        Already-spooled mixes (matching scale, seed, and fingerprint) are
+        left untouched, so repeat sessions over a shared cache directory
+        materialise nothing.
+        """
+
+        from repro.workloads.spool import TraceSpool
+
+        config = self._runner.config
+        if not config.spool_dir:
+            return 0
+        spool = TraceSpool(config.spool_dir)
+        written = 0
+        for seed in self.spec.seeds:
+            for name in (*self.spec.attack_mixes, *self.spec.benign_mixes):
+                written += spool.dump_mix(
+                    self._runner.mix(name, seed), seed=seed,
+                    entries_per_core=config.entries_per_core,
+                    attacker_entries=config.attacker_entries,
+                    fingerprint=self._runner.fingerprint,
+                )
+        return written
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -161,6 +247,16 @@ class Session:
         return self.spec.engine
 
     @property
+    def backend(self) -> str:
+        return self.execution.backend
+
+    @property
+    def spool_dir(self) -> Optional[str]:
+        """The columnar trace spool this session's workers mmap, if any."""
+
+        return self._runner.config.spool_dir
+
+    @property
     def cache(self) -> Optional[RunCache]:
         return self._runner.disk_cache
 
@@ -175,6 +271,9 @@ class Session:
     def close(self) -> None:
         if not self._closed:
             self._runner.close()
+            if self._spool_owned is not None:
+                shutil.rmtree(self._spool_owned, ignore_errors=True)
+                self._spool_owned = None
             self._closed = True
 
     def __enter__(self) -> "Session":

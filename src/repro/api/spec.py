@@ -282,6 +282,9 @@ class SpecFile:
     figures: Tuple[str, ...] = ()
     jobs: Optional[int] = None
     cache_dir: Optional[str] = None
+    backend: Optional[str] = None
+    broker: Optional[str] = None
+    workers: Optional[int] = None
 
 
 def _parse_spec_data(data: Dict[str, object], source: str) -> SpecFile:
@@ -294,15 +297,22 @@ def _parse_spec_data(data: Dict[str, object], source: str) -> SpecFile:
     spec_fields.update(data)
     jobs = execution.pop("jobs", None)
     cache_dir = execution.pop("cache_dir", None)
+    backend = execution.pop("backend", None)
+    broker = execution.pop("broker", None)
+    workers = execution.pop("workers", None)
     if execution:
         raise ValueError(
             f"{source}: unknown [execution] keys: {sorted(execution)}"
         )
-    if jobs is not None and (not isinstance(jobs, int) or jobs < 0):
-        raise ValueError(f"{source}: jobs must be a non-negative integer")
+    for name, value in (("jobs", jobs), ("workers", workers)):
+        if value is not None and (not isinstance(value, int) or value < 0):
+            raise ValueError(
+                f"{source}: {name} must be a non-negative integer"
+            )
     spec = ExperimentSpec.from_dict(spec_fields, profile=profile)
     return SpecFile(spec=spec, figures=figures, jobs=jobs,
-                    cache_dir=cache_dir)
+                    cache_dir=cache_dir, backend=backend, broker=broker,
+                    workers=workers)
 
 
 def load_spec(path: Path | str) -> SpecFile:
@@ -320,6 +330,9 @@ def load_spec(path: Path | str) -> SpecFile:
         [execution]                 # optional execution defaults
         jobs = 2
         cache_dir = "/tmp/repro-cache"
+        backend = "cluster"         # "local" (default) or "cluster"
+        broker = "0.0.0.0:7777"     # cluster listen address
+        workers = 2                 # co-located cluster workers to spawn
 
     JSON files use the same keys.  Execution values from the file rank
     below explicit CLI flags / ``Session`` arguments and above ``REPRO_*``

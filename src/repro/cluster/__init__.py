@@ -1,0 +1,79 @@
+"""repro.cluster — the distributed sweep backend.
+
+A broker/worker fabric over TCP or Unix sockets that scales the
+embarrassingly parallel figure grids past one machine's process pool:
+
+* :class:`ClusterBroker` owns a spec's work queue, hands connecting
+  workers the harness configuration, addresses every unit of work by
+  (spec fingerprint, run key), requeues the in-flight points of dead or
+  corrupt-stream workers, and writes results through the shared
+  persistent run cache so a resumed broker skips completed points;
+* :class:`ClusterExecutor` plugs that broker in as the third
+  :class:`~repro.analysis.executor.SweepExecutor` backend — selected by
+  ``Session(backend="cluster", broker=..., workers=N)`` or
+  ``REPRO_BACKEND=cluster`` — implementing both ``execute()`` and the
+  futures ``submit()`` path, so streamed figure aggregation works
+  unchanged on top of it;
+* the CLI pair runs each side standalone::
+
+      python -m repro.cluster broker spec.toml --listen 0.0.0.0:7777
+      python -m repro.cluster worker --connect HOST:7777 --jobs 4
+
+Results are bit-identical to the serial path (``tests/test_cluster.py``
+pins this including worker-death, stale-spec, and corrupt-frame modes),
+and co-located workers mmap the session's columnar trace spool
+(:mod:`repro.workloads.spool`) instead of regenerating traces.
+"""
+
+from repro.cluster.broker import ClusterBroker, ClusterTaskError
+from repro.cluster.executor import ClusterExecutor
+from repro.cluster.protocol import (
+    Address,
+    ConnectionClosed,
+    FrameError,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    parse_address,
+)
+from repro.cluster.worker import (
+    execute_claimed_task,
+    reap_workers,
+    spawn_local_workers,
+    worker_loop,
+)
+
+__all__ = [
+    "Address",
+    "ClusterBroker",
+    "ClusterExecutor",
+    "ClusterTaskError",
+    "ConnectionClosed",
+    "FrameError",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "cluster_broker",
+    "execute_claimed_task",
+    "parse_address",
+    "reap_workers",
+    "spawn_local_workers",
+    "wait_for_workers",
+    "worker_loop",
+]
+
+
+def cluster_broker(session) -> ClusterBroker:
+    """The broker behind a ``Session(backend="cluster")`` (introspection)."""
+
+    executor = session.runner._executor
+    if not isinstance(executor, ClusterExecutor):
+        raise TypeError(
+            f"session runs on {type(executor).__name__}, not the cluster "
+            "backend"
+        )
+    return executor.broker
+
+
+def wait_for_workers(session, count: int, timeout: float = 60.0) -> None:
+    """Block until ``count`` workers serve the session's broker."""
+
+    cluster_broker(session).wait_for_workers(count, timeout=timeout)

@@ -1,0 +1,351 @@
+"""The broker: owns a spec's work queue and a fleet of socket workers.
+
+A :class:`ClusterBroker` listens on a TCP or Unix endpoint, hands each
+connecting worker the spec's :class:`~repro.analysis.experiments.HarnessConfig`
+(plus the spec fingerprint all work is addressed by), and then feeds it
+grid points one at a time.  Fault tolerance is structural:
+
+* **worker death / disconnect** — the point that worker had in flight is
+  requeued and handed to the next free worker; the sweep's result cannot
+  change, only its wall-clock;
+* **stale workers** — a worker announcing (or computing) a fingerprint
+  other than the broker's is rejected at handshake, before any work is
+  dispatched;
+* **corrupt frames** — a truncated or bit-flipped frame fails the CRC
+  check (:class:`~repro.cluster.protocol.FrameError`), the connection is
+  dropped, and the in-flight point is requeued;
+* **resumption** — every result is written through the broker's shared
+  persistent :class:`~repro.analysis.runcache.RunCache` as it arrives, so
+  a broker restarted over the same cache directory skips completed points
+  (they come back as cache hits before ever reaching the queue).
+
+The broker is deliberately dumb about *what* a task means: it moves
+:class:`~repro.analysis.executor.RunTask` pickles out and outcome pickles
+back, resolving one :class:`concurrent.futures.Future` per task.  The
+scheduling policy is pull-based one-at-a-time dispatch — with grid points
+costing seconds each, per-point dispatch load-balances better than any
+chunking, exactly like the process-pool executor's ``chunksize=1``.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import socket
+import threading
+import time
+from concurrent.futures import Future
+from typing import Dict, List, Optional
+
+from repro.analysis.runcache import RunCache
+from repro.cluster import protocol
+from repro.cluster.protocol import (
+    Address,
+    ConnectionClosed,
+    FrameError,
+    ProtocolError,
+)
+
+
+class ClusterTaskError(RuntimeError):
+    """A worker reported a clean (deterministic) failure for one task."""
+
+
+class _Entry:
+    """Book-keeping of one submitted task."""
+
+    __slots__ = ("task", "future", "requeues")
+
+    def __init__(self, task) -> None:
+        self.task = task
+        self.future: Future = Future()
+        self.requeues = 0
+
+
+class ClusterBroker:
+    """Work queue + worker fleet for one harness configuration.
+
+    ``worker_config`` is the config every worker builds its runner from —
+    the caller pins ``jobs=1``/``backend="local"`` and disables the worker
+    disk cache (the broker owns persistence).  ``cache`` is the broker's
+    shared :class:`RunCache` (or ``None``); results are written through it
+    as they stream in.
+    """
+
+    def __init__(self, worker_config, address: Optional[Address] = None,
+                 cache: Optional[RunCache] = None) -> None:
+        from repro.analysis.experiments import harness_fingerprint
+
+        self.worker_config = worker_config
+        self.fingerprint = harness_fingerprint(worker_config)
+        self.cache = cache
+        self._queue: "queue.SimpleQueue" = queue.SimpleQueue()
+        self._entries: Dict[object, _Entry] = {}
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._threads: List[threading.Thread] = []
+        self._connections: List[socket.socket] = []
+        self._listener, self.address = protocol.bind_listener(
+            address or Address(kind="tcp", host="127.0.0.1", port=0)
+        )
+        # Observable state (written under _lock; unlocked reads are fine
+        # for polling).
+        self.workers_connected = 0
+        self.fabric_error: Optional[str] = None
+        self.workers_seen = 0
+        self.workers_rejected = 0
+        self.requeued_points = 0
+        self.corrupt_frames = 0
+        self.results_received = 0
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> "ClusterBroker":
+        accept = threading.Thread(target=self._accept_loop,
+                                  name="repro-cluster-accept", daemon=True)
+        accept.start()
+        self._threads.append(accept)
+        return self
+
+    def stop(self) -> None:
+        """Stop accepting, release workers, fail anything still pending."""
+
+        if self._stop.is_set():
+            return
+        self._stop.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        if self.address.kind == "unix":
+            try:
+                os.unlink(self.address.path)
+            except OSError:
+                pass
+        with self._lock:
+            pending = [entry for entry in self._entries.values()
+                       if not entry.future.done()]
+            connections = list(self._connections)
+        for entry in pending:
+            entry.future.set_exception(RuntimeError(
+                "cluster broker stopped with the point still pending"
+            ))
+        # Unblock handler threads parked in recv; workers observe the
+        # dropped connection (or an explicit shutdown frame) and exit.
+        for sock in connections:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+
+    @property
+    def worker_count(self) -> int:
+        """Workers that completed the handshake and are serving work."""
+
+        return self.workers_connected
+
+    def wait_for_workers(self, count: int, timeout: float = 60.0) -> None:
+        """Block until ``count`` workers are connected (tests and CLIs)."""
+
+        deadline = time.monotonic() + timeout
+        while self.workers_connected < count:
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"only {self.workers_connected}/{count} workers "
+                    f"connected to {self.address} within {timeout:.0f}s "
+                    f"({self.workers_rejected} rejected)"
+                )
+            time.sleep(0.02)
+
+    # ------------------------------------------------------------------ #
+    # Submission
+    # ------------------------------------------------------------------ #
+    def submit(self, task) -> Future:
+        """Enqueue one task; duplicate submissions share one future."""
+
+        if self._stop.is_set():
+            raise RuntimeError("cannot submit to a stopped cluster broker")
+        with self._lock:
+            # Checked under the lock against fail_pending(): a task either
+            # observes the dead fabric here, or is registered before the
+            # pending snapshot is taken — it can never fall between.
+            if self.fabric_error is not None:
+                raise RuntimeError(self.fabric_error)
+            entry = self._entries.get(task)
+            if entry is None:
+                entry = _Entry(task)
+                self._entries[task] = entry
+                self._queue.put(task)
+        return entry.future
+
+    # ------------------------------------------------------------------ #
+    # Connection handling
+    # ------------------------------------------------------------------ #
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                sock, _peer = self._listener.accept()
+            except OSError:
+                break  # listener closed by stop()
+            with self._lock:
+                self._connections.append(sock)
+                self.workers_seen += 1
+            handler = threading.Thread(target=self._serve_worker,
+                                       args=(sock,),
+                                       name="repro-cluster-worker",
+                                       daemon=True)
+            handler.start()
+            self._threads.append(handler)
+
+    def _reject(self, sock: socket.socket, reason: str) -> None:
+        with self._lock:
+            self.workers_rejected += 1
+        try:
+            protocol.send_message(sock, protocol.REJECT, reason=reason)
+        except OSError:
+            pass
+
+    def _handshake(self, sock: socket.socket) -> bool:
+        """Run the hello/config/ready exchange; ``True`` when serviceable."""
+
+        kind, payload = protocol.recv_message(sock)
+        if kind != protocol.HELLO:
+            raise FrameError(f"expected hello, got {kind!r}")
+        if payload.get("version") != protocol.PROTOCOL_VERSION:
+            self._reject(sock, (
+                f"protocol version {payload.get('version')!r} != "
+                f"{protocol.PROTOCOL_VERSION}"
+            ))
+            return False
+        announced = payload.get("fingerprint")
+        if announced is not None and announced != self.fingerprint:
+            self._reject(sock, (
+                f"stale spec: worker fingerprint {announced} != broker "
+                f"fingerprint {self.fingerprint}"
+            ))
+            return False
+        protocol.send_message(sock, protocol.CONFIG,
+                              config=self.worker_config,
+                              fingerprint=self.fingerprint)
+        kind, payload = protocol.recv_message(sock)
+        if kind != protocol.READY:
+            raise FrameError(f"expected ready, got {kind!r}")
+        if payload.get("fingerprint") != self.fingerprint:
+            # The worker rebuilt the config into a different fingerprint —
+            # an environment/version skew that would corrupt results.
+            self._reject(sock, (
+                f"fingerprint skew: worker built {payload.get('fingerprint')}"
+                f" from a config fingerprinting {self.fingerprint} here"
+            ))
+            return False
+        return True
+
+    def _serve_worker(self, sock: socket.socket) -> None:
+        in_flight = None
+        serving = False
+        try:
+            if not self._handshake(sock):
+                return
+            serving = True
+            with self._lock:
+                self.workers_connected += 1
+            while True:
+                task = self._next_task(sock)
+                if task is None:
+                    return  # shutdown sent
+                in_flight = task
+                protocol.send_message(sock, protocol.WORK, task=task,
+                                      fingerprint=self.fingerprint)
+                kind, payload = protocol.recv_message(sock)
+                if kind == protocol.RESULT and payload.get("task") == task:
+                    self._resolve(task, payload)
+                    in_flight = None
+                elif kind == protocol.ERROR and payload.get("task") == task:
+                    self._fail(task, payload.get("message", "worker error"))
+                    in_flight = None
+                else:
+                    raise FrameError(
+                        f"expected a result for {task!r}, got {kind!r}"
+                    )
+        except FrameError:
+            with self._lock:
+                self.corrupt_frames += 1
+        except (ConnectionClosed, ProtocolError, OSError):
+            pass
+        finally:
+            if serving:
+                with self._lock:
+                    self.workers_connected -= 1
+            if in_flight is not None:
+                self._requeue(in_flight)
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def _next_task(self, sock: socket.socket):
+        """Pull the next queued task, or send shutdown when stopping."""
+
+        while True:
+            try:
+                return self._queue.get(timeout=0.1)
+            except queue.Empty:
+                if self._stop.is_set():
+                    try:
+                        protocol.send_message(sock, protocol.SHUTDOWN)
+                    except OSError:
+                        pass
+                    return None
+
+    # ------------------------------------------------------------------ #
+    # Outcome plumbing
+    # ------------------------------------------------------------------ #
+    def _entry(self, task) -> Optional[_Entry]:
+        with self._lock:
+            return self._entries.get(task)
+
+    def _resolve(self, task, payload: dict) -> None:
+        if self.cache is not None:
+            for key, stats in payload.get("entries", ()):
+                self.cache.put(key, stats)
+        with self._lock:
+            self.results_received += 1
+        entry = self._entry(task)
+        if entry is not None and not entry.future.done():
+            entry.future.set_result(payload.get("outcome"))
+
+    def fail_pending(self, message: str) -> None:
+        """Fail every unresolved future (the fabric is known dead).
+
+        Called by the executor's worker monitor when every spawned worker
+        process has exited without serving: blocking on the queue would
+        otherwise hang forever.  Later submissions fail fast too.
+        """
+
+        with self._lock:
+            self.fabric_error = message
+            pending = [entry for entry in self._entries.values()
+                       if not entry.future.done()]
+        for entry in pending:
+            entry.future.set_exception(RuntimeError(message))
+
+    def _fail(self, task, message: str) -> None:
+        entry = self._entry(task)
+        if entry is not None and not entry.future.done():
+            entry.future.set_exception(ClusterTaskError(message))
+
+    def _requeue(self, task) -> None:
+        entry = self._entry(task)
+        if entry is None or entry.future.done() or self._stop.is_set():
+            return
+        entry.requeues += 1
+        with self._lock:
+            self.requeued_points += 1
+        self._queue.put(task)

@@ -1,0 +1,130 @@
+"""``ClusterExecutor`` — the third :class:`SweepExecutor` backend.
+
+Where :class:`~repro.analysis.executor.SerialSweepExecutor` runs tasks
+in-process and :class:`~repro.analysis.executor.ProcessPoolSweepExecutor`
+shards them across local worker processes, this backend hands them to a
+:class:`~repro.cluster.broker.ClusterBroker` whose workers connect over
+TCP/Unix sockets — the same host, or any number of remote ones.
+
+It implements both dispatch styles of the executor contract: ``submit``
+returns the broker's real :class:`concurrent.futures.Future` (so the
+streaming figure path — ``iter_completed`` / ``RunHandle`` — works
+unchanged), and ``execute`` is the batch barrier over those futures in
+task order.  Results are bit-identical to the serial path because workers
+run the exact same deterministic simulations from the exact same pickled
+configuration; the broker writes every result through the shared
+persistent run cache as it arrives.
+
+Construction is what ``Session(backend="cluster", broker=..., workers=N)``
+(or ``REPRO_BACKEND=cluster``) resolves to; ``workers > 0`` additionally
+spawns that many co-located worker processes so a single-machine cluster
+sweep is one line of code.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import sys
+import threading
+import time
+from concurrent.futures import Future
+from typing import List, Optional, Sequence
+
+from repro.analysis.executor import RunTask, SweepExecutor
+from repro.analysis.runcache import RunCache
+from repro.cluster.broker import ClusterBroker
+from repro.cluster.protocol import Address, parse_address
+from repro.cluster.worker import reap_workers, spawn_local_workers
+
+
+class ClusterExecutor(SweepExecutor):
+    """Dispatches sweep tasks to socket-connected workers via a broker."""
+
+    def __init__(self, harness_config, broker: Optional[str] = None,
+                 workers: int = 0, cache: Optional[RunCache] = None) -> None:
+        # Workers run strictly serially on the local backend with their
+        # disk cache off: persistence has one owner (the broker), and a
+        # worker inheriting REPRO_BACKEND=cluster must never recurse into
+        # hosting a broker of its own.  The trace spool directory survives
+        # the replace so co-located workers mmap instead of regenerating.
+        self._worker_config = dataclasses.replace(
+            harness_config, jobs=1, backend="local", broker=None,
+            cluster_workers=0, cache_dir="",
+        )
+        address = (parse_address(broker) if broker
+                   else Address(kind="tcp", host="127.0.0.1", port=0))
+        self._broker = ClusterBroker(self._worker_config, address=address,
+                                     cache=cache)
+        self._broker.start()
+        self._closing = False
+        self._processes = (
+            spawn_local_workers(self._broker.address, workers)
+            if workers > 0 else []
+        )
+        if self._processes:
+            # Spawned workers are this executor's responsibility: if every
+            # one of them dies without serving (bad interpreter, handshake
+            # rejection, OOM kill), blocking futures must fail with their
+            # stderr instead of hanging the sweep forever.
+            monitor = threading.Thread(target=self._watch_workers,
+                                       name="repro-cluster-monitor",
+                                       daemon=True)
+            monitor.start()
+        else:
+            # No local fleet: the sweep blocks until workers attach, so
+            # the operator must be able to see where to attach them.
+            print(f"cluster broker listening on {self._broker.address}; "
+                  "no local workers spawned — attach with: "
+                  f"python -m repro.cluster worker "
+                  f"--connect {self._broker.address}",
+                  file=sys.stderr, flush=True)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def broker(self) -> ClusterBroker:
+        return self._broker
+
+    @property
+    def address(self) -> Address:
+        """The endpoint workers must connect to (ephemeral ports resolved)."""
+
+        return self._broker.address
+
+    @property
+    def jobs(self) -> int:
+        """The currently connected worker count (what ``Session.jobs`` shows)."""
+
+        return max(1, self._broker.worker_count)
+
+    # ------------------------------------------------------------------ #
+    def submit(self, task: RunTask) -> Future:
+        return self._broker.submit(task)
+
+    def execute(self, tasks: Sequence[RunTask]) -> List[object]:
+        futures = [self.submit(task) for task in tasks]
+        return [future.result() for future in futures]
+
+    def _watch_workers(self) -> None:
+        while not self._closing:
+            time.sleep(0.2)
+            if self._closing:
+                return
+            if any(proc.poll() is None for proc in self._processes):
+                continue  # at least one worker process is still alive
+            if self._broker.worker_count > 0:
+                continue  # an externally attached worker is serving
+            diagnostics = reap_workers(self._processes, timeout=1.0)
+            detail = "; ".join(text for text in diagnostics if text) \
+                or "no diagnostics on stderr"
+            self._broker.fail_pending(
+                f"all {len(self._processes)} spawned cluster workers "
+                f"exited without serving the sweep: {detail}"
+            )
+            return
+
+    def close(self) -> None:
+        self._closing = True
+        self._broker.stop()
+        if self._processes:
+            reap_workers(self._processes)
+            self._processes = []

@@ -1,0 +1,229 @@
+"""Worker side of the cluster fabric: claim points, simulate, stream back.
+
+A worker connects to a broker, receives the spec's
+:class:`~repro.analysis.experiments.HarnessConfig`, builds its own
+:class:`~repro.analysis.experiments.ExperimentRunner` from it (regenerating
+traces deterministically, or loading them from the broker's mmap'd columnar
+spool when one is reachable — see :mod:`repro.workloads.spool`), and then
+loops: receive a :class:`~repro.analysis.executor.RunTask`, execute it,
+send the outcome back together with the ``(run_key, RunStatistics)`` cache
+entries the broker writes through to the shared persistent run cache.
+
+Fingerprint discipline: the worker echoes the fingerprint its runner
+actually computes back to the broker (``ready``) and re-checks the
+fingerprint stamped on every ``work`` frame — work for a spec this worker
+was not built for is refused, never silently computed.
+
+``spawn_local_workers`` is the programmatic way tests, benchmarks, and
+:class:`~repro.cluster.executor.ClusterExecutor` start co-located worker
+processes; the operator equivalent is::
+
+    python -m repro.cluster worker --connect HOST:PORT --jobs N
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.analysis.executor import TASK_ALONE, TASK_RUN, AloneResult, RunTask
+from repro.cluster import protocol
+from repro.cluster.protocol import Address, ConnectionClosed, ProtocolError
+
+#: Test hook: a worker that finds this variable set to N crashes hard
+#: (``os._exit``) upon receiving its N-th work frame, *before* computing or
+#: replying — the deterministic way to exercise the broker's requeue path.
+CRASH_AFTER_ENV = "REPRO_CLUSTER_CRASH_AFTER"
+
+
+def execute_claimed_task(runner, task: RunTask):
+    """Run one task; returns ``(outcome, cache_entries)``.
+
+    ``cache_entries`` is the list of ``(run_key, RunStatistics)`` pairs the
+    broker persists to the shared run cache — the worker itself runs with
+    its disk cache disabled, so persistence has exactly one owner.
+    """
+
+    if task.kind == TASK_RUN:
+        key = runner.run_key(task.mix_name, task.mechanism, task.nrh,
+                             task.breakhammer, task.seed)
+        stats = runner.run(task.mix_name, task.mechanism, task.nrh,
+                           task.breakhammer, seed=task.seed)
+        return stats, [(key, stats)]
+    if task.kind == TASK_ALONE:
+        mix = runner.mix(task.mix_name, task.seed)
+        trace = mix.traces[task.trace_index]
+        stats = runner.alone_baseline(trace)
+        outcome = AloneResult(trace_name=trace.name,
+                              trace_length=len(trace),
+                              ipc=max(1e-6, stats.ipc_of(0)))
+        return outcome, [(runner._alone_disk_key(trace), stats)]
+    raise ValueError(f"unknown cluster task kind {task.kind!r}")
+
+
+def _connect_with_retry(address: Address,
+                        timeout: float = 30.0):
+    """Dial the broker, retrying briefly (workers may start first)."""
+
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            return protocol.connect(address, timeout=10.0)
+        except OSError:
+            if time.monotonic() > deadline:
+                raise
+            time.sleep(0.2)
+
+
+def worker_loop(address: Address,
+                spec_fingerprint: Optional[str] = None,
+                crash_after: Optional[int] = None) -> int:
+    """Serve one broker connection until shutdown; returns an exit code.
+
+    ``spec_fingerprint`` pins the spec this worker is willing to serve
+    (``--spec``): the broker rejects the connection when it does not match,
+    which is how stale workers fail fast instead of computing garbage.
+    """
+
+    from repro.analysis.experiments import ExperimentRunner
+
+    try:
+        sock = _connect_with_retry(address)
+    except OSError as exc:
+        print(f"worker could not reach broker at {address}: {exc}",
+              file=sys.stderr)
+        return 4
+    try:
+        protocol.send_message(sock, protocol.HELLO,
+                              version=protocol.PROTOCOL_VERSION,
+                              fingerprint=spec_fingerprint)
+        kind, payload = protocol.recv_message(sock)
+        if kind == protocol.REJECT:
+            print(f"worker rejected: {payload.get('reason')}",
+                  file=sys.stderr)
+            return 2
+        if kind != protocol.CONFIG:
+            print(f"worker expected config, got {kind!r}", file=sys.stderr)
+            return 3
+        runner = ExperimentRunner(payload["config"], _api_owned=True)
+        protocol.send_message(sock, protocol.READY,
+                              fingerprint=runner.fingerprint)
+        served = 0
+        while True:
+            try:
+                kind, payload = protocol.recv_message(sock)
+            except ConnectionClosed:
+                return 0  # broker went away; nothing of ours is lost
+            if kind == protocol.SHUTDOWN:
+                return 0
+            if kind == protocol.REJECT:
+                print(f"worker rejected: {payload.get('reason')}",
+                      file=sys.stderr)
+                return 2
+            if kind != protocol.WORK:
+                print(f"worker expected work, got {kind!r}", file=sys.stderr)
+                return 3
+            if payload.get("fingerprint") != runner.fingerprint:
+                protocol.send_message(
+                    sock, protocol.ERROR, task=payload.get("task"),
+                    message=(f"work addressed to {payload.get('fingerprint')}"
+                             f" but this worker serves {runner.fingerprint}"),
+                )
+                return 2
+            task: RunTask = payload["task"]
+            served += 1
+            if crash_after is not None and served >= crash_after:
+                os._exit(17)  # simulate sudden worker death mid-point
+            try:
+                outcome, entries = execute_claimed_task(runner, task)
+            except Exception as exc:  # noqa: BLE001 - reported to broker
+                protocol.send_message(sock, protocol.ERROR, task=task,
+                                      message=repr(exc))
+                continue
+            protocol.send_message(sock, protocol.RESULT, task=task,
+                                  outcome=outcome, entries=entries)
+    except (ProtocolError, OSError) as exc:
+        # A dead broker (or a frame torn on the wire) ends this worker;
+        # whatever it had in flight is the broker's to requeue.
+        print(f"worker connection failed: {exc}", file=sys.stderr)
+        return 4
+    finally:
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+
+# ---------------------------------------------------------------------- #
+# Local worker processes
+# ---------------------------------------------------------------------- #
+def _worker_environment(extra_env: Optional[dict] = None) -> dict:
+    """The child environment: inherit, but guarantee ``repro`` is importable."""
+
+    import repro
+
+    src_root = str(Path(repro.__file__).resolve().parents[1])
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH", "")
+    if src_root not in existing.split(os.pathsep):
+        env["PYTHONPATH"] = (src_root + os.pathsep + existing
+                             if existing else src_root)
+    if extra_env:
+        env.update(extra_env)
+    return env
+
+
+def spawn_local_workers(address: Address, count: int,
+                        spec_path: Optional[str] = None,
+                        extra_env: Optional[dict] = None
+                        ) -> List[subprocess.Popen]:
+    """Start ``count`` worker processes pointed at ``address``.
+
+    Each child is a fresh interpreter running
+    ``python -m repro.cluster worker --connect <address>`` — the same entry
+    point an operator uses on a remote host — so what the tests exercise is
+    byte-for-byte the production worker path.  stderr is piped so a failed
+    worker's diagnostics can be surfaced (see ``reap_workers``).
+    """
+
+    command = [sys.executable, "-m", "repro.cluster", "worker",
+               "--connect", str(parse_or_format(address))]
+    if spec_path is not None:
+        command += ["--spec", spec_path]
+    env = _worker_environment(extra_env)
+    return [
+        subprocess.Popen(command, env=env, stdout=subprocess.DEVNULL,
+                         stderr=subprocess.PIPE)
+        for _ in range(count)
+    ]
+
+
+def parse_or_format(address) -> str:
+    """The CLI string form of an address (accepts strings verbatim)."""
+
+    if isinstance(address, Address):
+        return str(address)
+    return str(protocol.parse_address(address))
+
+
+def reap_workers(processes: Sequence[subprocess.Popen],
+                 timeout: float = 10.0) -> List[str]:
+    """Wait for worker processes, escalating to kill; returns stderr texts."""
+
+    diagnostics: List[str] = []
+    for proc in processes:
+        try:
+            proc.wait(timeout=timeout)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+        try:
+            _out, err = proc.communicate(timeout=5.0)
+        except (subprocess.TimeoutExpired, ValueError):
+            err = b""
+        if err:
+            diagnostics.append(err.decode("utf-8", "replace").strip())
+    return diagnostics

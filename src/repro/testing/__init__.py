@@ -21,6 +21,7 @@ from repro.testing.scenarios import (
     build_simulation_config,
     build_system_config,
     build_workload,
+    cluster_corpus,
     executor_corpus,
     fuzz_corpus,
     generate_scenarios,
@@ -55,6 +56,7 @@ __all__ = [
     "build_simulation_config",
     "build_system_config",
     "build_workload",
+    "cluster_corpus",
     "executor_corpus",
     "executor_differential",
     "fuzz_corpus",

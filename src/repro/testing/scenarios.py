@@ -232,10 +232,13 @@ def fuzz_corpus(count: int = 44) -> List[Scenario]:
     geometries, all schedulers, warmup/instruction-limit combinations, and
     ``mitigation_kwargs`` overrides for every mechanism that samples them
     (PRAC back-off servicing, Graphene and Hydra table sizes) — 44 is the
-    smallest count at which the fixed seed reaches all three.
+    smallest count at which the fixed seed reaches all three.  The fixed
+    :func:`cluster_corpus` scenarios ride along, so the engine contract
+    also covers every grid point the cluster-backend differential replays.
     """
 
-    return generate_scenarios(CORPUS_SEED, count, FuzzProfile.smoke())
+    return (generate_scenarios(CORPUS_SEED, count, FuzzProfile.smoke())
+            + cluster_corpus())
 
 
 def executor_corpus() -> List[Scenario]:
@@ -255,6 +258,35 @@ def executor_corpus() -> List[Scenario]:
         ("HHAA", "rfm", 64, False),
         ("MMLL", "hydra", 256, True),
         ("HMML", "none", 1_024, False),
+    ]
+    return [
+        Scenario(mix=mix, mechanism=mechanism, nrh=nrh, breakhammer=bh,
+                 **shape)
+        for mix, mechanism, nrh, bh in grid
+    ]
+
+
+def cluster_corpus() -> List[Scenario]:
+    """Cluster-shaped scenarios for the broker/worker differential.
+
+    Like :func:`executor_corpus` these are harness-shaped and share one
+    harness shape, so a single broker + worker fleet serves the whole
+    batch; ``nrh=128`` (outside the random sampler's choice set) keeps
+    their labels distinct from every sampled scenario.  They are part of
+    the fixed :func:`fuzz_corpus`, and
+    ``repro.testing.fuzz --jobs N`` replays them against a broker with N
+    spawned local socket workers (``tests/test_cluster.py`` replays them
+    in tier-1).
+    """
+
+    shape = dict(sim_cycles=1_200, entries_per_core=600,
+                 attacker_entries=800, seed=0)
+    grid = [
+        ("MMLA", "para", 128, True),
+        ("HHMA", "graphene", 128, False),
+        ("MLLA", "prac", 128, True),
+        ("MMLL", "hydra", 128, False),
+        ("HMLA", "rfm", 128, True),
     ]
     return [
         Scenario(mix=mix, mechanism=mechanism, nrh=nrh, breakhammer=bh,

@@ -1,0 +1,171 @@
+"""Columnar trace spool: materialise a spec's workloads once, mmap many.
+
+Sweep workers historically regenerated every trace deterministically from
+``(config, seed)``.  That stays the correctness baseline (and the fallback
+whenever a spool is unreachable), but a full-profile sweep regenerates the
+same six mixes in every worker of every session.  A :class:`TraceSpool` is
+a directory the session owner populates **once** — each mix's traces in the
+binary columnar format plus a JSON manifest — after which every co-located
+worker loads them with ``Trace.load_columnar(path, mmap=True)``: the
+address/bubble/flag columns are mapped read-only straight out of the page
+cache, so N workers share one physical copy instead of holding N.
+
+Safety model mirrors the run cache:
+
+* the manifest pins the trace-generation parameters **and the runner
+  fingerprint** — a spool written for another scale, seed, or geometry is
+  ignored (``load_mix`` returns ``None``) and the worker regenerates;
+* writes are atomic (temp file + ``os.replace``) and the manifest is
+  written last, so a concurrently materialising spool is either invisible
+  or complete;
+* any read problem — missing file, truncated column, foreign bytes —
+  degrades to regeneration, never to wrong traces (the loaded columns are
+  byte-identical to the generated ones, pinned by
+  ``tests/test_trace_spool.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+from repro.cpu.trace import Trace
+from repro.workloads.mixes import WorkloadMix
+
+#: Bump when the manifest schema or file layout changes.
+SPOOL_VERSION = 1
+
+
+class TraceSpool:
+    """A directory of columnar trace files, one manifest per (mix, seed)."""
+
+    def __init__(self, directory) -> None:
+        self.directory = Path(directory)
+
+    # ------------------------------------------------------------------ #
+    def _manifest_path(self, name: str, seed: int) -> Path:
+        return self.directory / f"{name}-s{seed}.json"
+
+    def _trace_path(self, name: str, seed: int, index: int) -> Path:
+        return self.directory / f"{name}-s{seed}-{index}.rtrc"
+
+    @staticmethod
+    def _params(entries_per_core: int, attacker_entries: int,
+                fingerprint: Optional[str]) -> dict:
+        return {
+            "version": SPOOL_VERSION,
+            "entries_per_core": entries_per_core,
+            "attacker_entries": attacker_entries,
+            "fingerprint": fingerprint,
+        }
+
+    # ------------------------------------------------------------------ #
+    def has_mix(self, name: str, seed: int, entries_per_core: int,
+                attacker_entries: int,
+                fingerprint: Optional[str] = None) -> bool:
+        """Whether a matching, complete materialisation already exists."""
+
+        manifest = self._read_manifest(name, seed, entries_per_core,
+                                       attacker_entries, fingerprint)
+        if manifest is None:
+            return False
+        return all(
+            (self.directory / file_name).is_file()
+            for file_name in manifest["traces"]
+        )
+
+    def dump_mix(self, mix: WorkloadMix, seed: int, entries_per_core: int,
+                 attacker_entries: int,
+                 fingerprint: Optional[str] = None) -> bool:
+        """Materialise ``mix``; returns ``False`` when already spooled."""
+
+        if self.has_mix(mix.name, seed, entries_per_core, attacker_entries,
+                        fingerprint):
+            return False
+        self.directory.mkdir(parents=True, exist_ok=True)
+        file_names = []
+        for index, trace in enumerate(mix.traces):
+            path = self._trace_path(mix.name, seed, index)
+            self._atomic_dump(trace, path)
+            file_names.append(path.name)
+        manifest = dict(
+            self._params(entries_per_core, attacker_entries, fingerprint),
+            mix=mix.name,
+            seed=seed,
+            attacker_threads=list(mix.attacker_threads),
+            traces=file_names,
+        )
+        self._atomic_write_text(self._manifest_path(mix.name, seed),
+                                json.dumps(manifest, indent=2) + "\n")
+        return True
+
+    def load_mix(self, name: str, seed: int, entries_per_core: int,
+                 attacker_entries: int, fingerprint: Optional[str] = None,
+                 mmap: bool = True) -> Optional[WorkloadMix]:
+        """The spooled mix, or ``None`` when absent/mismatched/damaged."""
+
+        manifest = self._read_manifest(name, seed, entries_per_core,
+                                       attacker_entries, fingerprint)
+        if manifest is None:
+            return None
+        try:
+            traces = [
+                Trace.load_columnar(self.directory / file_name, mmap=mmap)
+                for file_name in manifest["traces"]
+            ]
+        except (OSError, ValueError):
+            return None  # damaged spool: fall back to regeneration
+        return WorkloadMix(
+            name=name,
+            traces=traces,
+            attacker_threads=list(manifest.get("attacker_threads", [])),
+        )
+
+    # ------------------------------------------------------------------ #
+    def _read_manifest(self, name: str, seed: int, entries_per_core: int,
+                       attacker_entries: int,
+                       fingerprint: Optional[str]) -> Optional[dict]:
+        try:
+            manifest = json.loads(
+                self._manifest_path(name, seed).read_text(encoding="utf-8")
+            )
+        except (OSError, ValueError):
+            return None
+        expected = self._params(entries_per_core, attacker_entries,
+                                fingerprint)
+        if not isinstance(manifest, dict):
+            return None
+        if any(manifest.get(key) != value for key, value in expected.items()):
+            return None
+        if not isinstance(manifest.get("traces"), list):
+            return None
+        return manifest
+
+    def _atomic_dump(self, trace: Trace, path: Path) -> None:
+        fd, temp_name = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        os.close(fd)
+        try:
+            trace.dump_columnar(temp_name)
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+
+    def _atomic_write_text(self, path: Path, text: str) -> None:
+        fd, temp_name = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise

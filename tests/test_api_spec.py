@@ -23,7 +23,7 @@ from repro.api import (
     resolve_execution,
 )
 from repro.sim.config import ENGINE_ENV
-from repro.analysis.executor import JOBS_ENV
+from repro.analysis.executor import BACKEND_ENV, JOBS_ENV, resolve_backend
 
 
 TINY = ExperimentSpec.tiny()
@@ -188,6 +188,43 @@ class TestExecutionPrecedence:
         monkeypatch.setenv(JOBS_ENV, "8")
         assert resolve_execution(TINY, jobs=1).jobs == 1
         assert resolve_execution(TINY).jobs == 8
+
+    def test_explicit_backend_beats_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "cluster")
+        assert resolve_execution(TINY, backend="local").backend == "local"
+        assert resolve_execution(TINY).backend == "cluster"
+        monkeypatch.delenv(BACKEND_ENV)
+        assert resolve_execution(TINY).backend == "local"
+
+    def test_garbage_backend_rejected(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "mainframe")
+        with pytest.raises(ValueError, match="backend"):
+            resolve_backend(None)
+        monkeypatch.delenv(BACKEND_ENV)
+        with pytest.raises(ValueError, match="backend"):
+            resolve_backend("mainframe")
+
+    def test_spec_file_execution_backend_keys(self, tmp_path):
+        path = tmp_path / "sweep.toml"
+        path.write_text(
+            'profile = "tiny"\n'
+            '[execution]\n'
+            'backend = "cluster"\n'
+            'broker = "unix:/tmp/b.sock"\n'
+            'workers = 2\n',
+            encoding="utf-8",
+        )
+        spec_file = load_spec(path)
+        assert spec_file.backend == "cluster"
+        assert spec_file.broker == "unix:/tmp/b.sock"
+        assert spec_file.workers == 2
+
+    def test_spec_file_negative_workers_rejected(self, tmp_path):
+        path = tmp_path / "sweep.toml"
+        path.write_text('profile = "tiny"\n[execution]\nworkers = -1\n',
+                        encoding="utf-8")
+        with pytest.raises(ValueError, match="workers"):
+            load_spec(path)
 
     def test_explicit_cache_dir_beats_env(self, monkeypatch, tmp_path):
         monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "env"))

@@ -1,0 +1,331 @@
+"""The distributed sweep backend: correctness and failure modes.
+
+Contracts pinned here:
+
+* a figure sweep executed through ``Session(backend="cluster")`` with two
+  real worker processes over a Unix domain socket is bit-identical to the
+  serial path — cold cache and warm cache (the warm broker recomputes
+  nothing at all);
+* a worker killed mid-point (it dies after claiming work, before
+  replying) has its point requeued and the figure still aggregates
+  bit-identically;
+* a worker pinned to a stale spec is rejected at handshake, and the
+  broker keeps serving correct workers afterwards;
+* a truncated/corrupt wire frame is detected by the CRC framing (never
+  mis-decoded), the connection is dropped, and the point is recomputed —
+  mirroring the injection style of ``test_runcache_corruption.py``;
+* the serial-vs-cluster differential over the fixed cluster corpus is
+  clean (the fuzzer replays the same corpus in campaigns).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import socket
+import struct
+import time
+import warnings
+
+import pytest
+
+from repro.analysis.experiments import ExperimentRunner, HarnessConfig
+from repro.api import ExperimentSpec, Session
+from repro.cluster import (
+    cluster_broker,
+    parse_address,
+    spawn_local_workers,
+    wait_for_workers,
+)
+from repro.cluster import protocol
+from repro.cluster.worker import CRASH_AFTER_ENV, reap_workers
+from repro.testing.fuzz import executor_differential
+from repro.testing.scenarios import cluster_corpus
+
+SPEC = ExperimentSpec.tiny()
+
+#: Generous bound on broker/worker state transitions (worker start-up is
+#: an interpreter launch; the simulations themselves are sub-second).
+TIMEOUT = 120.0
+
+
+def serial_reference():
+    with Session(SPEC, jobs=1, cache_dir="") as session:
+        return session.figure("fig6", nrh=64)
+
+
+@pytest.fixture(scope="module")
+def reference():
+    return serial_reference()
+
+
+def poll(predicate, what: str, timeout: float = TIMEOUT) -> None:
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        if time.monotonic() > deadline:
+            raise TimeoutError(f"timed out waiting for {what}")
+        time.sleep(0.02)
+
+
+# ---------------------------------------------------------------------- #
+# Wire protocol units
+# ---------------------------------------------------------------------- #
+class TestProtocol:
+    def roundtrip(self, kind, **payload):
+        lhs, rhs = socket.socketpair()
+        try:
+            protocol.send_message(lhs, kind, **payload)
+            return protocol.recv_message(rhs)
+        finally:
+            lhs.close()
+            rhs.close()
+
+    def test_message_round_trip(self):
+        kind, payload = self.roundtrip(protocol.WORK, task=("t",), n=3)
+        assert kind == protocol.WORK
+        assert payload == {"task": ("t",), "n": 3}
+
+    def test_clean_eof_is_connection_closed(self):
+        lhs, rhs = socket.socketpair()
+        lhs.close()
+        with pytest.raises(protocol.ConnectionClosed):
+            protocol.recv_message(rhs)
+        rhs.close()
+
+    def test_mid_frame_eof_is_frame_error(self):
+        lhs, rhs = socket.socketpair()
+        lhs.sendall(b"RCLU\x00\x00")  # half a header, then silence
+        lhs.close()
+        with pytest.raises(protocol.FrameError):
+            protocol.recv_message(rhs)
+        rhs.close()
+
+    def test_bad_magic_rejected(self):
+        lhs, rhs = socket.socketpair()
+        lhs.sendall(struct.pack("<4sIQ", b"NOPE", 0, 0))
+        with pytest.raises(protocol.FrameError, match="magic"):
+            protocol.recv_message(rhs)
+        lhs.close()
+        rhs.close()
+
+    def test_crc_catches_flipped_payload_bit(self):
+        lhs, rhs = socket.socketpair()
+        import pickle
+        import zlib
+
+        body = bytearray(pickle.dumps(("result", {"x": 1})))
+        crc = zlib.crc32(bytes(body))
+        body[-1] ^= 0x01
+        lhs.sendall(struct.pack("<4sIQ", b"RCLU", crc, len(body)) + body)
+        with pytest.raises(protocol.FrameError, match="CRC"):
+            protocol.recv_message(rhs)
+        lhs.close()
+        rhs.close()
+
+    def test_absurd_length_rejected_before_allocation(self):
+        lhs, rhs = socket.socketpair()
+        lhs.sendall(struct.pack("<4sIQ", b"RCLU", 0, 1 << 62))
+        with pytest.raises(protocol.FrameError, match="length"):
+            protocol.recv_message(rhs)
+        lhs.close()
+        rhs.close()
+
+    def test_stale_unix_socket_path_is_reclaimed(self, tmp_path):
+        path = tmp_path / "crashed.sock"
+        listener, bound = protocol.bind_listener(parse_address(f"unix:{path}"))
+        listener.close()  # a crashed broker: socket file left behind
+        assert path.exists()
+        relisten, _ = protocol.bind_listener(parse_address(f"unix:{path}"))
+        relisten.close()
+
+    def test_live_unix_socket_path_is_not_stolen(self, tmp_path):
+        path = tmp_path / "live.sock"
+        listener, _ = protocol.bind_listener(parse_address(f"unix:{path}"))
+        try:
+            with pytest.raises(OSError):
+                protocol.bind_listener(parse_address(f"unix:{path}"))
+        finally:
+            listener.close()
+
+    def test_parse_address_forms(self):
+        tcp = parse_address("example.org:7777")
+        assert (tcp.kind, tcp.host, tcp.port) == ("tcp", "example.org", 7777)
+        assert parse_address(":0").host == "127.0.0.1"
+        unix = parse_address("unix:/tmp/b.sock")
+        assert (unix.kind, unix.path) == ("unix", "/tmp/b.sock")
+        assert str(unix) == "unix:/tmp/b.sock"
+        with pytest.raises(ValueError):
+            parse_address("unix:")
+        with pytest.raises(ValueError):
+            parse_address("no-port-here")
+
+
+# ---------------------------------------------------------------------- #
+# The acceptance contract: cluster == serial, cold and warm
+# ---------------------------------------------------------------------- #
+@pytest.mark.cluster_smoke
+class TestClusterSmoke:
+    def test_unix_socket_two_workers_bit_identical(self, reference, tmp_path):
+        broker_path = tmp_path / "broker.sock"
+        with Session(SPEC, backend="cluster", broker=f"unix:{broker_path}",
+                     workers=2, cache_dir="") as session:
+            assert session.backend == "cluster"
+            wait_for_workers(session, 2, timeout=TIMEOUT)
+            assert session.jobs == 2  # connected workers
+            figure = session.figure("fig6", nrh=64)
+            broker = cluster_broker(session)
+            assert broker.results_received > 0
+            # The sweep really ran remotely: merged results counted here.
+            assert session.runs_executed > 0
+        assert figure.as_dict() == reference.as_dict()
+
+    def test_cold_then_warm_cache_bit_identical(self, reference, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        with Session(SPEC, backend="cluster", workers=2,
+                     cache_dir=cache_dir) as cold:
+            wait_for_workers(cold, 2, timeout=TIMEOUT)
+            cold_figure = cold.figure("fig6", nrh=64)
+            assert cold.cache is not None and cold.cache.writes > 0
+        assert cold_figure.as_dict() == reference.as_dict()
+
+        # A resumed broker over the same cache skips every completed
+        # point: zero workers are needed and nothing is recomputed.
+        with Session(SPEC, backend="cluster", workers=0,
+                     cache_dir=cache_dir) as warm:
+            warm_figure = warm.figure("fig6", nrh=64)
+            assert warm.runs_executed == 0
+        assert warm_figure.as_dict() == reference.as_dict()
+
+
+# ---------------------------------------------------------------------- #
+# Failure modes
+# ---------------------------------------------------------------------- #
+class TestWorkerDeath:
+    def test_killed_worker_requeues_and_figure_is_identical(self, reference):
+        with Session(SPEC, backend="cluster", cache_dir="") as session:
+            broker = cluster_broker(session)
+            plan = session.runner.figure_plan("fig6", nrh=64)
+            session.runner.submit_plan(plan)  # queue the grid up front
+            # First worker claims a point and dies before replying
+            # (os._exit on its first work frame) -> the broker must
+            # requeue that exact in-flight point.
+            crasher = spawn_local_workers(
+                broker.address, 1, extra_env={CRASH_AFTER_ENV: "1"}
+            )
+            poll(lambda: broker.requeued_points >= 1, "the requeue")
+            survivor = spawn_local_workers(broker.address, 1)
+            figure = session.figure("fig6", nrh=64)
+            assert broker.requeued_points >= 1
+            reap_workers(crasher)
+        assert figure.as_dict() == reference.as_dict()
+        reap_workers(survivor)
+
+
+class TestDeadFleet:
+    def test_whole_fleet_dying_fails_futures_instead_of_hanging(
+            self, monkeypatch):
+        # Every spawned worker inherits the crash hook: each dies on its
+        # first work frame, so the fleet annihilates itself and the
+        # monitor must fail the pending futures (with a reason), never
+        # hang the sweep.
+        monkeypatch.setenv(CRASH_AFTER_ENV, "1")
+        with Session(SPEC, backend="cluster", workers=1,
+                     cache_dir="") as session:
+            handle = session.submit("MMLA", "para", 64, False)
+            with pytest.raises(RuntimeError,
+                               match="exited without serving"):
+                handle.result(timeout=TIMEOUT)
+            broker = cluster_broker(session)
+            assert broker.fabric_error is not None
+            # Later submissions fail fast on the dead fabric too.
+            with pytest.raises(RuntimeError):
+                session.submit("MMLA", "para", 64, True)
+
+
+class TestStaleWorker:
+    def test_stale_spec_rejected_then_good_worker_serves(self, tmp_path):
+        stale_spec = tmp_path / "stale.json"
+        ExperimentSpec.tiny(sim_cycles=2_000).dump_json(stale_spec)
+        with Session(SPEC, backend="cluster", cache_dir="") as session:
+            broker = cluster_broker(session)
+            stale = spawn_local_workers(broker.address, 1,
+                                        spec_path=str(stale_spec))
+            poll(lambda: broker.workers_rejected >= 1, "the rejection")
+            # The stale worker exited with the 'rejected' status and never
+            # served a point.
+            assert stale[0].wait(timeout=TIMEOUT) == 2
+            diagnostics = reap_workers(stale)
+            assert any("stale spec" in text for text in diagnostics)
+            assert broker.worker_count == 0
+
+            good = spawn_local_workers(broker.address, 1)
+            handle = session.submit("MMLA", "para", 64, False)
+            stats = handle.result(timeout=TIMEOUT)
+        with Session(SPEC, jobs=1, cache_dir="") as serial:
+            expected = serial.run("MMLA", "para", 64, False)
+        assert dataclasses.asdict(stats) == dataclasses.asdict(expected)
+        reap_workers(good)
+
+
+class TestCorruptFrame:
+    def _handshake(self, broker) -> socket.socket:
+        sock = protocol.connect(broker.address, timeout=30.0)
+        protocol.send_message(sock, protocol.HELLO,
+                              version=protocol.PROTOCOL_VERSION,
+                              fingerprint=None)
+        kind, payload = protocol.recv_message(sock)
+        assert kind == protocol.CONFIG
+        assert payload["fingerprint"] == broker.fingerprint
+        protocol.send_message(sock, protocol.READY,
+                              fingerprint=payload["fingerprint"])
+        return sock
+
+    def test_truncated_result_frame_is_detected_and_recomputed(self):
+        with Session(SPEC, backend="cluster", cache_dir="") as session:
+            broker = cluster_broker(session)
+            handle = session.submit("MMLA", "para", 64, True)
+            # A "worker" that claims the point, then emits half a frame —
+            # a torn write on the wire, as a crashing sender leaves it.
+            saboteur = self._handshake(broker)
+            kind, payload = protocol.recv_message(saboteur)
+            assert kind == protocol.WORK
+            assert payload["fingerprint"] == broker.fingerprint
+            saboteur.sendall(b"RCLU\x07garbage-that-is-not-a-frame")
+            saboteur.close()
+            poll(lambda: broker.corrupt_frames >= 1, "corruption detection")
+            assert broker.requeued_points >= 1
+            # A real worker recomputes the requeued point.
+            workers = spawn_local_workers(broker.address, 1)
+            stats = handle.result(timeout=TIMEOUT)
+        with Session(SPEC, jobs=1, cache_dir="") as serial:
+            expected = serial.run("MMLA", "para", 64, True)
+        assert dataclasses.asdict(stats) == dataclasses.asdict(expected)
+        reap_workers(workers)
+
+
+# ---------------------------------------------------------------------- #
+# Differential: serial vs cluster over the fixed corpus
+# ---------------------------------------------------------------------- #
+def test_serial_vs_cluster_differential_clean():
+    scenarios = cluster_corpus()
+    assert len(scenarios) >= 5
+    assert all(s.harness_shaped() for s in scenarios)
+    mismatches = executor_differential(scenarios, jobs=2, backend="cluster")
+    assert mismatches == []
+
+
+# ---------------------------------------------------------------------- #
+# Deprecation clock of the legacy facade
+# ---------------------------------------------------------------------- #
+class TestLegacyFacadeDeprecation:
+    CONFIG = dict(sim_cycles=1_500, entries_per_core=600,
+                  attacker_entries=800, jobs=1, cache_dir="")
+
+    def test_direct_runner_construction_warns(self):
+        with pytest.warns(DeprecationWarning, match="repro.api.Session"):
+            ExperimentRunner(HarnessConfig(**self.CONFIG))
+
+    def test_session_owned_runner_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            with Session(SPEC, jobs=1, cache_dir="") as session:
+                assert session.runner is not None
