@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Statistical campaign: every figure cell as mean ± 95% CI.
+
+A spec with several ``seeds`` turns every figure cell into a statistic:
+the sweep runs once per seed (same grid, different trace seeds) and the
+figure aggregation folds the per-seed frames into per-cell means with
+95% confidence-interval half-widths (``SeriesStats``).  The text report
+renders multi-seed cells as ``mean±ci`` — single-seed runs are
+byte-identical to the pre-statistics output.
+
+The second half demonstrates an **adaptive campaign**:
+``Session.figure(..., target_ci=)`` runs the base seed batch, then
+escalates extra seeds *only for the cells whose CI half-width still
+misses the target* — seed-insensitive cells keep the base sample count,
+so precision is bought exactly where the simulation is noisy.
+
+Run with:  python examples/statistical_campaign.py
+(or, like every example:  python -m repro.api examples)
+
+Set ``REPRO_EXAMPLE_SCALE=tiny`` for a seconds-scale run (what the
+``examples_smoke`` pytest tier and ``python -m repro.api examples`` use).
+"""
+
+import os
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis.report import render_figure
+from repro.api import ExperimentSpec, Session
+
+TINY = os.environ.get("REPRO_EXAMPLE_SCALE", "") == "tiny"
+
+FIGURE = "fig6"
+NRH = 64
+SEEDS = (0, 1, 2)
+TARGET_CI = 0.05 if TINY else 0.02
+
+
+def base_spec(**overrides) -> ExperimentSpec:
+    if TINY:
+        return ExperimentSpec.tiny(
+            mechanisms=("para", "rfm"), **overrides
+        )
+    return ExperimentSpec.smoke(**overrides)
+
+
+def main() -> None:
+    spec = base_spec(seeds=SEEDS)
+
+    print(f"== multi-seed campaign: {FIGURE} over seeds {SEEDS} ==")
+    with Session(spec, cache_dir="") as session:
+        figure = session.figure(FIGURE, nrh=NRH)
+        print(f"   {session.runs_executed} simulation(s) "
+              f"({len(SEEDS)}x the single-seed grid)")
+    print(render_figure(figure))
+    for label, series in figure.series.items():
+        widest = max(cell.ci95 for cell in series.stats)
+        print(f"   {label:>14}: widest 95% CI half-width {widest:.4f} "
+              f"over n={series.stats[0].n} seeds")
+
+    print(f"\n== adaptive campaign: target_ci={TARGET_CI} ==")
+    with Session(base_spec(seeds=(0, 1)), cache_dir="") as session:
+        adaptive = session.figure(FIGURE, nrh=NRH,
+                                  target_ci=TARGET_CI, max_seeds=6)
+        print(f"   {session.runs_executed} simulation(s): base batch of 2 "
+              "seeds, then extra seeds for wide cells only")
+    for label, series in adaptive.series.items():
+        counts = sorted({cell.n for cell in series.stats})
+        widest = max(cell.ci95 for cell in series.stats)
+        met = "met" if widest <= TARGET_CI else "budget-capped"
+        print(f"   {label:>14}: n={'/'.join(map(str, counts))} seeds, "
+              f"widest ci95 {widest:.4f} ({met})")
+
+
+if __name__ == "__main__":
+    main()

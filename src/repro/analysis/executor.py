@@ -98,15 +98,18 @@ class SweepPlan:
     baselines the aggregation needs, and ``meta`` records the resolved
     figure parameters (mechanism list, sweep, …) so the aggregation code
     and the grid definition can never drift apart: both read the same
-    plan.  Plans are what :class:`repro.api.Session` submits as futures
-    and what the legacy batch ``prefetch`` executes behind each
-    ``figureN`` method.
+    plan.  ``seeds`` is the statistical axis: the grid (alone baselines
+    included) is executed once per seed, and the figure aggregation folds
+    the per-seed frames into mean ± CI cells
+    (:mod:`repro.analysis.aggregate`).  Plans are what
+    :class:`repro.api.Session` submits as futures and what the legacy
+    batch ``prefetch`` executes behind each ``figureN`` method.
     """
 
     figure_id: str
     runs: Tuple[Tuple[str, str, int, bool], ...] = ()
     alone_mixes: Tuple[str, ...] = ()
-    seed: int = 0
+    seeds: Tuple[int, ...] = (0,)
     meta: Dict[str, object] = field(default_factory=dict)
 
     @property

@@ -34,6 +34,7 @@ import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.analysis.aggregate import aggregate_figures, aggregate_headlines
 from repro.analysis.executor import (
     AloneResult,
     RunHandle,
@@ -255,7 +256,8 @@ GridPoint = Tuple[str, int, str, int, bool]
 RunKey = Tuple[str, int, str, int, bool, int, int, int, str]
 
 #: A (mix_name, mechanism, nrh, breakhammer) request, as the figure methods
-#: hand them to :meth:`ExperimentRunner.prefetch` (seed 0, like `run`).
+#: hand them to :meth:`ExperimentRunner.prefetch` one seed at a time — the
+#: plan's seed axis multiplies the same request list across its seeds.
 RunSpec = Tuple[str, str, int, bool]
 
 #: Every figure/headline artefact with a declarative sweep plan, mapped to
@@ -705,10 +707,18 @@ class ExperimentRunner:
             alone.ipc
 
     def submit_plan(self, plan: SweepPlan) -> List[RunHandle]:
-        """Submit a figure's declarative sweep plan; see :meth:`figure_plan`."""
+        """Submit a figure's declarative sweep plan; see :meth:`figure_plan`.
 
-        return self.submit_prefetch(plan.runs, alone_mixes=plan.alone_mixes,
-                                    seed=plan.seed)
+        The grid (alone baselines included) is submitted once per seed of
+        the plan's seed axis; handles of all seeds share one pool.
+        """
+
+        handles: List[RunHandle] = []
+        for seed in plan.seeds:
+            handles.extend(self.submit_prefetch(
+                plan.runs, alone_mixes=plan.alone_mixes, seed=seed
+            ))
+        return handles
 
     # ------------------------------------------------------------------ #
     # Declarative figure sweep plans
@@ -739,8 +749,11 @@ class ExperimentRunner:
 
         if plan.empty:
             return 0
-        return self.prefetch(plan.runs, alone_mixes=plan.alone_mixes,
-                             seed=plan.seed)
+        executed = 0
+        for seed in plan.seeds:
+            executed += self.prefetch(plan.runs,
+                                      alone_mixes=plan.alone_mixes, seed=seed)
+        return executed
 
     def _grid_plan(self, figure_id: str,
                    mixes: Sequence[str],
@@ -776,7 +789,163 @@ class ExperimentRunner:
             figure_id=figure_id,
             runs=tuple(runs),
             alone_mixes=tuple(mixes) if alone else (),
+            seeds=tuple(self.config.seeds),
             meta=meta or {},
+        )
+
+    # ------------------------------------------------------------------ #
+    # Per-seed figure frames and the seed-axis aggregation
+    # ------------------------------------------------------------------ #
+    #: figure_id -> the method that builds one per-seed frame of it.  Every
+    #: plan-backed figure appears here; fig5 (analytical) and fig19 (bespoke
+    #: threshold sweep) have no seed axis and no frame builder.
+    _FRAME_BUILDERS: Dict[str, str] = {
+        "fig2": "_frame_fig2",
+        "fig6": "_frame_per_mix",
+        "fig7": "_frame_per_mix",
+        "fig8": "_frame_nrh_scaling",
+        "fig9": "_frame_nrh_scaling",
+        "fig10": "_frame_fig10",
+        "fig11": "_frame_latency",
+        "fig12": "_frame_fig12",
+        "fig13": "_frame_per_mix",
+        "fig14": "_frame_per_mix",
+        "fig15": "_frame_benign_scaling",
+        "fig16": "_frame_benign_scaling",
+        "fig17": "_frame_latency",
+        "fig18": "_frame_fig18",
+    }
+
+    def figure_frame(self, plan: SweepPlan, seed: int) -> FigureData:
+        """Aggregate one *seed's* frame of a figure from warm caches.
+
+        The plan's runs (for this seed) must already be computed — the
+        batch path executes the plan first, the streaming/adaptive paths
+        consume the plan's handles first.  Frames of all seeds share one
+        structure, so :func:`repro.analysis.aggregate.aggregate_figures`
+        can fold them into the published mean ± CI figure.
+        """
+
+        builder = self._FRAME_BUILDERS.get(plan.figure_id)
+        if builder is None:
+            raise ValueError(
+                f"figure {plan.figure_id!r} has no per-seed frame builder"
+            )
+        return getattr(self, builder)(plan, seed)
+
+    def _figure_from_plan(self, plan: SweepPlan) -> FigureData:
+        """Batch-execute a plan and fold its per-seed frames (legacy path)."""
+
+        self._execute_plan(plan)
+        return aggregate_figures(
+            [self.figure_frame(plan, seed) for seed in plan.seeds]
+        )
+
+    @staticmethod
+    def _want(only: Optional[Sequence[str]], label: str) -> bool:
+        """Does a frame build ``label``?  ``only`` is the escalation filter.
+
+        Full-figure plans carry no ``meta["series"]`` filter (``only is
+        None``): every series is built.  Adaptive escalation plans narrow
+        the frame to the series that still have wide-CI cells.
+        """
+
+        return only is None or label in only
+
+    @staticmethod
+    def _label_mechanism(label: str) -> Tuple[str, bool]:
+        """Invert a series label back to its (mechanism, breakhammer) pair."""
+
+        if label == "no_defense":
+            return ("none", False)
+        if label.endswith("+BH"):
+            return (label[: -len("+BH")], True)
+        return (label, False)
+
+    def escalation_plan(self, plan: SweepPlan,
+                        cells: Sequence[Tuple[str, object]]) -> SweepPlan:
+        """The narrowed plan one adaptive escalation round executes.
+
+        ``cells`` lists (series label, x value) coordinates of ``plan``'s
+        figure whose CI is still wider than the campaign target.  The
+        returned plan covers exactly the runs those cells' frame values
+        depend on — other series are dropped via ``meta["series"]`` and,
+        where the x axis maps one-to-one onto grid runs, the x dimension is
+        narrowed too.  Cells that aggregate *across* a dimension (geomean
+        over mixes, a latency curve over one run set) keep that dimension
+        whole, so escalated frame cells equal what a full frame at the same
+        seed would hold.
+        """
+
+        if plan.figure_id not in self._FRAME_BUILDERS:
+            raise ValueError(
+                f"figure {plan.figure_id!r} has no seed axis to escalate"
+            )
+        labels = list(dict.fromkeys(label for label, _ in cells))
+        wide_x = {x for _, x in cells}
+        meta = dict(plan.meta)
+        meta["series"] = labels
+        runs: List[RunSpec] = []
+        if plan.figure_id in self._PER_MIX_FIGURES:
+            # x axis = mixes + ["geomean"]; a wide geomean needs every mix.
+            mixes = list(plan.meta["mixes"])
+            if "geomean" not in wide_x:
+                mixes = [mix for mix in mixes if mix in wide_x]
+            meta["mixes"] = mixes
+            nrh = plan.meta["nrh"]
+            for label in labels:
+                mechanism, _ = self._label_mechanism(label)
+                for mix in mixes:
+                    runs.append((mix, mechanism, nrh, False))
+                    runs.append((mix, mechanism, nrh, True))
+            alone_mixes: Tuple[str, ...] = tuple(mixes)
+        elif plan.figure_id in ("fig11", "fig17"):
+            # x axis = percentile points of one curve: any wide point needs
+            # the whole curve's run set, so only the series narrow.
+            nrh = plan.meta["nrh"]
+            mixes = plan.meta["mixes"]
+            for label in labels:
+                mechanism, breakhammer = self._label_mechanism(label)
+                runs.extend((mix, mechanism, nrh, breakhammer)
+                            for mix in mixes)
+            alone_mixes = ()
+        else:
+            # N_RH-sweep family: the x axis maps one-to-one onto grid runs.
+            sweep = [nrh for nrh in plan.meta["sweep"] if nrh in wide_x]
+            meta["sweep"] = sweep
+            mixes = plan.meta["mixes"]
+            if plan.figure_id in ("fig2", "fig8", "fig9", "fig12", "fig18"):
+                runs.extend((mix, "none", self.config.nrh_default, False)
+                            for mix in mixes)
+            for label in labels:
+                mechanism, breakhammer = self._label_mechanism(label)
+                if plan.figure_id in ("fig15", "fig16"):
+                    # Normalised to the mechanism alone: both runs needed.
+                    bh_values: Tuple[bool, ...] = (False, True)
+                elif plan.figure_id == "fig10":
+                    # Normalised to the mechanism's count at the reference
+                    # N_RH, which the narrowed sweep may no longer contain.
+                    reference_nrh = plan.meta.get(
+                        "reference_nrh", plan.meta["sweep"][0]
+                    )
+                    runs.extend((mix, mechanism, reference_nrh, False)
+                                for mix in mixes)
+                    bh_values = (breakhammer,)
+                else:
+                    bh_values = (breakhammer,)
+                runs.extend(
+                    (mix, mechanism, nrh, flag)
+                    for nrh in sweep
+                    for flag in bh_values
+                    for mix in mixes
+                )
+            alone_mixes = plan.alone_mixes
+        return SweepPlan(
+            figure_id=plan.figure_id,
+            runs=tuple(runs),
+            alone_mixes=alone_mixes,
+            seeds=plan.seeds,
+            meta=meta,
         )
 
     # ------------------------------------------------------------------ #
@@ -820,11 +989,13 @@ class ExperimentRunner:
 
     def figure2(self, mechanisms: Optional[Sequence[str]] = None,
                 mixes: Optional[Sequence[str]] = None) -> FigureData:
-        plan = self._plan_fig2(mechanisms, mixes)
-        self._execute_plan(plan)
+        return self._figure_from_plan(self._plan_fig2(mechanisms, mixes))
+
+    def _frame_fig2(self, plan: SweepPlan, seed: int) -> FigureData:
         mechanisms = plan.meta["mechanisms"]
         mixes = plan.meta["mixes"]
         sweep = plan.meta["sweep"]
+        only = plan.meta.get("series")
         figure = FigureData(
             figure_id="fig2",
             title="System performance of RowHammer mitigations vs N_RH "
@@ -835,16 +1006,19 @@ class ExperimentRunner:
         )
         baseline_ws: Dict[str, float] = {}
         for mix_name in mixes:
-            mix = self.mix(mix_name)
-            stats = self.run(mix_name, "none", self.config.nrh_default, False)
+            mix = self.mix(mix_name, seed)
+            stats = self.run(mix_name, "none", self.config.nrh_default, False,
+                             seed)
             baseline_ws[mix_name] = self.benign_weighted_speedup(stats, mix)
         for mechanism in mechanisms:
+            if not self._want(only, mechanism):
+                continue
             values = []
             for nrh in sweep:
                 ratios = []
                 for mix_name in mixes:
-                    mix = self.mix(mix_name)
-                    stats = self.run(mix_name, mechanism, nrh, False)
+                    mix = self.mix(mix_name, seed)
+                    stats = self.run(mix_name, mechanism, nrh, False, seed)
                     ws = self.benign_weighted_speedup(stats, mix)
                     ratios.append(ws / max(1e-9, baseline_ws[mix_name]))
                 values.append(geometric_mean(ratios))
@@ -884,30 +1058,44 @@ class ExperimentRunner:
             meta=dict(nrh=nrh, mixes=mixes, mechanisms=mechanisms),
         )
 
-    def _per_mix_ratio(self, plan: SweepPlan, metric: str) -> FigureData:
-        self._execute_plan(plan)
+    #: figure_id -> (metric, title) of the per-mix BreakHammer-ratio family.
+    _PER_MIX_FIGURES: Dict[str, Tuple[str, str]] = {
+        "fig6": ("weighted_speedup",
+                 "Benign weighted speedup with BreakHammer, normalised to "
+                 "the mechanism alone"),
+        "fig7": ("max_slowdown",
+                 "Benign unfairness (max slowdown) with BreakHammer, "
+                 "normalised to the mechanism alone"),
+        "fig13": ("weighted_speedup",
+                  "Benign-only weighted speedup with BreakHammer, "
+                  "normalised to the mechanism alone"),
+        "fig14": ("max_slowdown",
+                  "Benign-only unfairness with BreakHammer, normalised "
+                  "to the mechanism alone"),
+    }
+
+    def _frame_per_mix(self, plan: SweepPlan, seed: int) -> FigureData:
+        metric, title = self._PER_MIX_FIGURES[plan.figure_id]
         nrh = plan.meta["nrh"]
         mixes = plan.meta["mixes"]
         mechanisms = plan.meta["mechanisms"]
+        only = plan.meta.get("series")
         is_perf = metric == "weighted_speedup"
         figure = FigureData(
-            figure_id="fig6" if is_perf else "fig7",
-            title=(
-                "Benign weighted speedup with BreakHammer, normalised to the "
-                "mechanism alone" if is_perf else
-                "Benign unfairness (max slowdown) with BreakHammer, "
-                "normalised to the mechanism alone"
-            ),
+            figure_id=plan.figure_id,
+            title=title,
             x_label="mix",
             y_label="normalized_" + metric,
             x_values=list(mixes) + ["geomean"],
         )
         for mechanism in mechanisms:
+            if not self._want(only, f"{mechanism}+BH"):
+                continue
             ratios = []
             for mix_name in mixes:
-                mix = self.mix(mix_name)
-                base = self.run(mix_name, mechanism, nrh, False)
-                with_bh = self.run(mix_name, mechanism, nrh, True)
+                mix = self.mix(mix_name, seed)
+                base = self.run(mix_name, mechanism, nrh, False, seed)
+                with_bh = self.run(mix_name, mechanism, nrh, True, seed)
                 if is_perf:
                     value = self.benign_weighted_speedup(with_bh, mix)
                     baseline = self.benign_weighted_speedup(base, mix)
@@ -930,17 +1118,15 @@ class ExperimentRunner:
     def figure6(self, nrh: Optional[int] = None,
                 mixes: Optional[Sequence[str]] = None,
                 mechanisms: Optional[Sequence[str]] = None) -> FigureData:
-        return self._per_mix_ratio(
-            self._plan_fig6(nrh=nrh, mixes=mixes, mechanisms=mechanisms),
-            "weighted_speedup",
+        return self._figure_from_plan(
+            self._plan_fig6(nrh=nrh, mixes=mixes, mechanisms=mechanisms)
         )
 
     def figure7(self, nrh: Optional[int] = None,
                 mixes: Optional[Sequence[str]] = None,
                 mechanisms: Optional[Sequence[str]] = None) -> FigureData:
-        return self._per_mix_ratio(
-            self._plan_fig7(nrh=nrh, mixes=mixes, mechanisms=mechanisms),
-            "max_slowdown",
+        return self._figure_from_plan(
+            self._plan_fig7(nrh=nrh, mixes=mixes, mechanisms=mechanisms)
         )
 
     # ------------------------------------------------------------------ #
@@ -961,18 +1147,24 @@ class ExperimentRunner:
                       include_baseline_series=include_baseline_series),
         )
 
-    def _nrh_scaling(self, plan: SweepPlan, figure_id: str, metric: str,
-                     with_attacker: bool) -> FigureData:
-        self._execute_plan(plan)
+    #: figure_id -> metric of the attacker-present N_RH-scaling family.
+    _NRH_SCALING_METRICS: Dict[str, str] = {
+        "fig8": "weighted_speedup",
+        "fig9": "max_slowdown",
+    }
+
+    def _frame_nrh_scaling(self, plan: SweepPlan, seed: int) -> FigureData:
+        metric = self._NRH_SCALING_METRICS[plan.figure_id]
         mechanisms = plan.meta["mechanisms"]
         mixes = plan.meta["mixes"]
         sweep = plan.meta["sweep"]
         include_baseline_series = plan.meta["include_baseline_series"]
+        only = plan.meta.get("series")
         is_perf = metric == "weighted_speedup"
         figure = FigureData(
-            figure_id=figure_id,
+            figure_id=plan.figure_id,
             title=f"{metric} vs N_RH "
-                  f"({'attacker present' if with_attacker else 'all benign'}, "
+                  "(attacker present, "
                   "normalised to no mitigation)",
             x_label="nrh",
             y_label="normalized_" + metric,
@@ -981,8 +1173,9 @@ class ExperimentRunner:
         # No-mitigation baseline per mix (independent of N_RH).
         baseline: Dict[str, float] = {}
         for mix_name in mixes:
-            mix = self.mix(mix_name)
-            stats = self.run(mix_name, "none", self.config.nrh_default, False)
+            mix = self.mix(mix_name, seed)
+            stats = self.run(mix_name, "none", self.config.nrh_default, False,
+                             seed)
             baseline[mix_name] = (
                 self.benign_weighted_speedup(stats, mix)
                 if is_perf else self.benign_max_slowdown(stats, mix)
@@ -993,8 +1186,9 @@ class ExperimentRunner:
             for nrh in sweep:
                 ratios = []
                 for mix_name in mixes:
-                    mix = self.mix(mix_name)
-                    stats = self.run(mix_name, mechanism, nrh, breakhammer)
+                    mix = self.mix(mix_name, seed)
+                    stats = self.run(mix_name, mechanism, nrh, breakhammer,
+                                     seed)
                     value = (
                         self.benign_weighted_speedup(stats, mix)
                         if is_perf else self.benign_max_slowdown(stats, mix)
@@ -1004,9 +1198,11 @@ class ExperimentRunner:
             return values
 
         for mechanism in mechanisms:
-            if include_baseline_series:
+            if include_baseline_series and self._want(only, mechanism):
                 figure.add_series(mechanism, series_for(mechanism, False))
-            figure.add_series(f"{mechanism}+BH", series_for(mechanism, True))
+            if self._want(only, f"{mechanism}+BH"):
+                figure.add_series(f"{mechanism}+BH",
+                                  series_for(mechanism, True))
         return figure
 
     def _plan_fig8(self, **kwargs) -> SweepPlan:
@@ -1017,16 +1213,14 @@ class ExperimentRunner:
 
     def figure8(self, mechanisms: Optional[Sequence[str]] = None,
                 mixes: Optional[Sequence[str]] = None) -> FigureData:
-        return self._nrh_scaling(
-            self._plan_fig8(mechanisms=mechanisms, mixes=mixes),
-            "fig8", "weighted_speedup", True,
+        return self._figure_from_plan(
+            self._plan_fig8(mechanisms=mechanisms, mixes=mixes)
         )
 
     def figure9(self, mechanisms: Optional[Sequence[str]] = None,
                 mixes: Optional[Sequence[str]] = None) -> FigureData:
-        return self._nrh_scaling(
-            self._plan_fig9(mechanisms=mechanisms, mixes=mixes),
-            "fig9", "max_slowdown", True,
+        return self._figure_from_plan(
+            self._plan_fig9(mechanisms=mechanisms, mixes=mixes)
         )
 
     # ------------------------------------------------------------------ #
@@ -1041,16 +1235,20 @@ class ExperimentRunner:
         sweep = list(self.config.nrh_sweep)
         return self._grid_plan(
             "fig10", mixes, mechanisms, sweep, (False, True), alone=False,
-            meta=dict(mechanisms=mechanisms, mixes=mixes, sweep=sweep),
+            meta=dict(mechanisms=mechanisms, mixes=mixes, sweep=sweep,
+                      reference_nrh=sweep[0]),
         )
 
     def figure10(self, mechanisms: Optional[Sequence[str]] = None,
                  mixes: Optional[Sequence[str]] = None) -> FigureData:
-        plan = self._plan_fig10(mechanisms, mixes)
-        self._execute_plan(plan)
+        return self._figure_from_plan(self._plan_fig10(mechanisms, mixes))
+
+    def _frame_fig10(self, plan: SweepPlan, seed: int) -> FigureData:
         mechanisms = plan.meta["mechanisms"]
         mixes = plan.meta["mixes"]
         sweep = plan.meta["sweep"]
+        reference_nrh = plan.meta.get("reference_nrh", sweep[0])
+        only = plan.meta.get("series")
         figure = FigureData(
             figure_id="fig10",
             title="RowHammer-preventive actions vs N_RH (attacker present, "
@@ -1063,20 +1261,26 @@ class ExperimentRunner:
         def mean_actions(mechanism: str, nrh: int, bh: bool) -> float:
             counts = []
             for mix_name in mixes:
-                stats = self.run(mix_name, mechanism, nrh, bh)
+                stats = self.run(mix_name, mechanism, nrh, bh, seed)
                 counts.append(stats.preventive_actions)
             return sum(counts) / len(counts)
 
         for mechanism in mechanisms:
-            reference = max(1.0, mean_actions(mechanism, sweep[0], False))
-            base_series = [
-                mean_actions(mechanism, nrh, False) / reference for nrh in sweep
-            ]
-            bh_series = [
-                mean_actions(mechanism, nrh, True) / reference for nrh in sweep
-            ]
-            figure.add_series(mechanism, base_series)
-            figure.add_series(f"{mechanism}+BH", bh_series)
+            want_base = self._want(only, mechanism)
+            want_bh = self._want(only, f"{mechanism}+BH")
+            if not (want_base or want_bh):
+                continue
+            reference = max(1.0, mean_actions(mechanism, reference_nrh, False))
+            if want_base:
+                figure.add_series(mechanism, [
+                    mean_actions(mechanism, nrh, False) / reference
+                    for nrh in sweep
+                ])
+            if want_bh:
+                figure.add_series(f"{mechanism}+BH", [
+                    mean_actions(mechanism, nrh, True) / reference
+                    for nrh in sweep
+                ])
         return figure
 
     # ------------------------------------------------------------------ #
@@ -1116,15 +1320,19 @@ class ExperimentRunner:
                                   mixes: Optional[Sequence[str]] = None,
                                   points: Sequence[int] = (50, 75, 90, 95, 99, 100),
                                   ) -> FigureData:
-        plan = self._latency_plan(with_attacker, nrh, mechanisms, mixes,
-                                  points)
-        self._execute_plan(plan)
+        return self._figure_from_plan(
+            self._latency_plan(with_attacker, nrh, mechanisms, mixes, points)
+        )
+
+    def _frame_latency(self, plan: SweepPlan, seed: int) -> FigureData:
+        with_attacker = plan.figure_id == "fig11"
         nrh = plan.meta["nrh"]
         mechanisms = plan.meta["mechanisms"]
         mixes = plan.meta["mixes"]
         points = plan.meta["points"]
+        only = plan.meta.get("series")
         figure = FigureData(
-            figure_id="fig11" if with_attacker else "fig17",
+            figure_id=plan.figure_id,
             title="Benign memory latency percentiles at low N_RH "
                   f"({'attacker present' if with_attacker else 'all benign'})",
             x_label="percentile",
@@ -1135,17 +1343,20 @@ class ExperimentRunner:
         def curve(mechanism: str, bh: bool) -> List[float]:
             per_point: List[List[float]] = [[] for _ in points]
             for mix_name in mixes:
-                mix = self.mix(mix_name)
-                stats = self.run(mix_name, mechanism, nrh, bh)
+                mix = self.mix(mix_name, seed)
+                stats = self.run(mix_name, mechanism, nrh, bh, seed)
                 pcts = stats.latency_curve(mix.benign_threads, points=tuple(points))
                 for idx, p in enumerate(points):
                     per_point[idx].append(pcts[p])
             return [sum(vals) / len(vals) if vals else 0.0 for vals in per_point]
 
-        figure.add_series("no_defense", curve("none", False))
+        if self._want(only, "no_defense"):
+            figure.add_series("no_defense", curve("none", False))
         for mechanism in mechanisms:
-            figure.add_series(mechanism, curve(mechanism, False))
-            figure.add_series(f"{mechanism}+BH", curve(mechanism, True))
+            if self._want(only, mechanism):
+                figure.add_series(mechanism, curve(mechanism, False))
+            if self._want(only, f"{mechanism}+BH"):
+                figure.add_series(f"{mechanism}+BH", curve(mechanism, True))
         return figure
 
     def figure11(self, **kwargs) -> FigureData:
@@ -1170,11 +1381,13 @@ class ExperimentRunner:
 
     def figure12(self, mechanisms: Optional[Sequence[str]] = None,
                  mixes: Optional[Sequence[str]] = None) -> FigureData:
-        plan = self._plan_fig12(mechanisms, mixes)
-        self._execute_plan(plan)
+        return self._figure_from_plan(self._plan_fig12(mechanisms, mixes))
+
+    def _frame_fig12(self, plan: SweepPlan, seed: int) -> FigureData:
         mechanisms = plan.meta["mechanisms"]
         mixes = plan.meta["mixes"]
         sweep = plan.meta["sweep"]
+        only = plan.meta.get("series")
         figure = FigureData(
             figure_id="fig12",
             title="DRAM energy vs N_RH (attacker present, normalised to "
@@ -1185,7 +1398,8 @@ class ExperimentRunner:
         )
         baseline: Dict[str, float] = {}
         for mix_name in mixes:
-            stats = self.run(mix_name, "none", self.config.nrh_default, False)
+            stats = self.run(mix_name, "none", self.config.nrh_default, False,
+                             seed)
             baseline[mix_name] = max(1e-9, stats.energy_mj)
 
         def series(mechanism: str, bh: bool) -> List[float]:
@@ -1193,14 +1407,16 @@ class ExperimentRunner:
             for nrh in sweep:
                 ratios = []
                 for mix_name in mixes:
-                    stats = self.run(mix_name, mechanism, nrh, bh)
+                    stats = self.run(mix_name, mechanism, nrh, bh, seed)
                     ratios.append(stats.energy_mj / baseline[mix_name])
                 values.append(sum(ratios) / len(ratios))
             return values
 
         for mechanism in mechanisms:
-            figure.add_series(mechanism, series(mechanism, False))
-            figure.add_series(f"{mechanism}+BH", series(mechanism, True))
+            if self._want(only, mechanism):
+                figure.add_series(mechanism, series(mechanism, False))
+            if self._want(only, f"{mechanism}+BH"):
+                figure.add_series(f"{mechanism}+BH", series(mechanism, True))
         return figure
 
     # ------------------------------------------------------------------ #
@@ -1217,26 +1433,16 @@ class ExperimentRunner:
     def figure13(self, nrh: Optional[int] = None,
                  mixes: Optional[Sequence[str]] = None,
                  mechanisms: Optional[Sequence[str]] = None) -> FigureData:
-        figure = self._per_mix_ratio(
-            self._plan_fig13(nrh=nrh, mixes=mixes, mechanisms=mechanisms),
-            "weighted_speedup",
+        return self._figure_from_plan(
+            self._plan_fig13(nrh=nrh, mixes=mixes, mechanisms=mechanisms)
         )
-        figure.figure_id = "fig13"
-        figure.title = ("Benign-only weighted speedup with BreakHammer, "
-                        "normalised to the mechanism alone")
-        return figure
 
     def figure14(self, nrh: Optional[int] = None,
                  mixes: Optional[Sequence[str]] = None,
                  mechanisms: Optional[Sequence[str]] = None) -> FigureData:
-        figure = self._per_mix_ratio(
-            self._plan_fig14(nrh=nrh, mixes=mixes, mechanisms=mechanisms),
-            "max_slowdown",
+        return self._figure_from_plan(
+            self._plan_fig14(nrh=nrh, mixes=mixes, mechanisms=mechanisms)
         )
-        figure.figure_id = "fig14"
-        figure.title = ("Benign-only unfairness with BreakHammer, normalised "
-                        "to the mechanism alone")
-        return figure
 
     def _benign_scaling_plan(self, figure_id: str,
                              mechanisms: Optional[Sequence[str]] = None,
@@ -1256,15 +1462,21 @@ class ExperimentRunner:
     def _plan_fig16(self, **kwargs) -> SweepPlan:
         return self._benign_scaling_plan("fig16", **kwargs)
 
-    def _benign_scaling(self, plan: SweepPlan, figure_id: str,
-                        metric: str) -> FigureData:
-        self._execute_plan(plan)
+    #: figure_id -> metric of the all-benign N_RH-scaling family.
+    _BENIGN_SCALING_METRICS: Dict[str, str] = {
+        "fig15": "weighted_speedup",
+        "fig16": "max_slowdown",
+    }
+
+    def _frame_benign_scaling(self, plan: SweepPlan, seed: int) -> FigureData:
+        metric = self._BENIGN_SCALING_METRICS[plan.figure_id]
         mechanisms = plan.meta["mechanisms"]
         mixes = plan.meta["mixes"]
         sweep = plan.meta["sweep"]
+        only = plan.meta.get("series")
         is_perf = metric == "weighted_speedup"
         figure = FigureData(
-            figure_id=figure_id,
+            figure_id=plan.figure_id,
             title=f"All-benign {metric} of mechanism+BH normalised to the "
                   "mechanism alone, vs N_RH",
             x_label="nrh",
@@ -1272,13 +1484,15 @@ class ExperimentRunner:
             x_values=sweep,
         )
         for mechanism in mechanisms:
+            if not self._want(only, f"{mechanism}+BH"):
+                continue
             values = []
             for nrh in sweep:
                 ratios = []
                 for mix_name in mixes:
-                    mix = self.mix(mix_name)
-                    base = self.run(mix_name, mechanism, nrh, False)
-                    with_bh = self.run(mix_name, mechanism, nrh, True)
+                    mix = self.mix(mix_name, seed)
+                    base = self.run(mix_name, mechanism, nrh, False, seed)
+                    with_bh = self.run(mix_name, mechanism, nrh, True, seed)
                     if is_perf:
                         value = self.benign_weighted_speedup(with_bh, mix)
                         baseline = self.benign_weighted_speedup(base, mix)
@@ -1292,16 +1506,14 @@ class ExperimentRunner:
 
     def figure15(self, mechanisms: Optional[Sequence[str]] = None,
                  mixes: Optional[Sequence[str]] = None) -> FigureData:
-        return self._benign_scaling(
-            self._plan_fig15(mechanisms=mechanisms, mixes=mixes),
-            "fig15", "weighted_speedup",
+        return self._figure_from_plan(
+            self._plan_fig15(mechanisms=mechanisms, mixes=mixes)
         )
 
     def figure16(self, mechanisms: Optional[Sequence[str]] = None,
                  mixes: Optional[Sequence[str]] = None) -> FigureData:
-        return self._benign_scaling(
-            self._plan_fig16(mechanisms=mechanisms, mixes=mixes),
-            "fig16", "max_slowdown",
+        return self._figure_from_plan(
+            self._plan_fig16(mechanisms=mechanisms, mixes=mixes)
         )
 
     # ------------------------------------------------------------------ #
@@ -1321,11 +1533,13 @@ class ExperimentRunner:
 
     def figure18(self, mechanisms: Optional[Sequence[str]] = None,
                  mixes: Optional[Sequence[str]] = None) -> FigureData:
-        plan = self._plan_fig18(mechanisms, mixes)
-        self._execute_plan(plan)
+        return self._figure_from_plan(self._plan_fig18(mechanisms, mixes))
+
+    def _frame_fig18(self, plan: SweepPlan, seed: int) -> FigureData:
         mechanisms = plan.meta["mechanisms"]
         mixes = plan.meta["mixes"]
         sweep = plan.meta["sweep"]
+        only = plan.meta.get("series")
         figure = FigureData(
             figure_id="fig18",
             title="BreakHammer-paired mechanisms vs BlockHammer "
@@ -1336,8 +1550,9 @@ class ExperimentRunner:
         )
         baseline: Dict[str, float] = {}
         for mix_name in mixes:
-            mix = self.mix(mix_name)
-            stats = self.run(mix_name, "none", self.config.nrh_default, False)
+            mix = self.mix(mix_name, seed)
+            stats = self.run(mix_name, "none", self.config.nrh_default, False,
+                             seed)
             baseline[mix_name] = self.benign_weighted_speedup(stats, mix)
 
         def series(mechanism: str, bh: bool) -> List[float]:
@@ -1345,16 +1560,18 @@ class ExperimentRunner:
             for nrh in sweep:
                 ratios = []
                 for mix_name in mixes:
-                    mix = self.mix(mix_name)
-                    stats = self.run(mix_name, mechanism, nrh, bh)
+                    mix = self.mix(mix_name, seed)
+                    stats = self.run(mix_name, mechanism, nrh, bh, seed)
                     ws = self.benign_weighted_speedup(stats, mix)
                     ratios.append(ws / max(1e-9, baseline[mix_name]))
                 values.append(geometric_mean([max(1e-9, r) for r in ratios]))
             return values
 
         for mechanism in mechanisms:
-            figure.add_series(f"{mechanism}+BH", series(mechanism, True))
-        figure.add_series("blockhammer", series("blockhammer", False))
+            if self._want(only, f"{mechanism}+BH"):
+                figure.add_series(f"{mechanism}+BH", series(mechanism, True))
+        if self._want(only, "blockhammer"):
+            figure.add_series("blockhammer", series("blockhammer", False))
         return figure
 
     # ------------------------------------------------------------------ #
@@ -1532,15 +1749,22 @@ class ExperimentRunner:
 
         plan = self.headline_plan(nrh)
         self._execute_plan(plan)
+        return aggregate_headlines(
+            [self._headline_frame(plan, seed) for seed in plan.seeds]
+        )
+
+    def _headline_frame(self, plan: SweepPlan, seed: int) -> Dict[str, float]:
+        """One seed's headline numbers, from warm caches (see figure_frame)."""
+
         nrh = plan.meta["nrh"]
         speedups: List[float] = []
         energy_ratios: List[float] = []
         action_ratios: List[float] = []
         for mechanism in self.config.mechanisms:
             for mix_name in self.config.attack_mixes:
-                mix = self.mix(mix_name)
-                base = self.run(mix_name, mechanism, nrh, False)
-                with_bh = self.run(mix_name, mechanism, nrh, True)
+                mix = self.mix(mix_name, seed)
+                base = self.run(mix_name, mechanism, nrh, False, seed)
+                with_bh = self.run(mix_name, mechanism, nrh, True, seed)
                 ws_base = self.benign_weighted_speedup(base, mix)
                 ws_bh = self.benign_weighted_speedup(with_bh, mix)
                 speedups.append(ws_bh / max(1e-9, ws_base))

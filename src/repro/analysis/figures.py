@@ -13,10 +13,17 @@ from typing import Dict, List, Optional, Sequence
 
 @dataclass
 class FigureSeries:
-    """One line/bar group of a figure: a label and y-values over x-values."""
+    """One line/bar group of a figure: a label and y-values over x-values.
+
+    ``stats`` is the optional seed-axis view: one
+    :class:`~repro.analysis.aggregate.SeriesStats` per x point when the
+    figure aggregated more than one seed (``values`` then holds the
+    per-point means), ``None`` for single-seed (scalar) figures.
+    """
 
     label: str
     values: List[float]
+    stats: Optional[List[object]] = None
 
     def __post_init__(self) -> None:
         self.values = [float(v) for v in self.values]
@@ -38,13 +45,20 @@ class FigureData:
     series: Dict[str, FigureSeries] = field(default_factory=dict)
     notes: str = ""
 
-    def add_series(self, label: str, values: Sequence[float]) -> FigureSeries:
+    def add_series(self, label: str, values: Sequence[float],
+                   stats: Optional[Sequence[object]] = None) -> FigureSeries:
         if len(values) != len(self.x_values):
             raise ValueError(
                 f"series {label!r} has {len(values)} values but the figure "
                 f"has {len(self.x_values)} x points"
             )
-        series = FigureSeries(label=label, values=list(values))
+        if stats is not None and len(stats) != len(self.x_values):
+            raise ValueError(
+                f"series {label!r} has {len(stats)} stats cells but the "
+                f"figure has {len(self.x_values)} x points"
+            )
+        series = FigureSeries(label=label, values=list(values),
+                              stats=list(stats) if stats is not None else None)
         self.series[label] = series
         return series
 
@@ -73,7 +87,7 @@ class FigureData:
         serial reference) value-for-value.
         """
 
-        return {
+        data = {
             "figure_id": self.figure_id,
             "title": self.title,
             "x_label": self.x_label,
@@ -85,6 +99,17 @@ class FigureData:
             },
             "notes": self.notes,
         }
+        # The seed-axis statistics appear only when a series carries them
+        # (multi-seed aggregation): single-seed snapshots stay bit-identical
+        # to the pre-statistics schema.
+        series_stats = {
+            label: [cell.as_dict() for cell in series.stats]
+            for label, series in self.series.items()
+            if series.stats
+        }
+        if series_stats:
+            data["series_stats"] = series_stats
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "FigureData":
@@ -98,8 +123,15 @@ class FigureData:
             x_values=list(data["x_values"]),
             notes=data.get("notes", ""),
         )
+        series_stats = data.get("series_stats", {})
         for label, values in data.get("series", {}).items():
-            figure.add_series(label, values)
+            stats = None
+            if label in series_stats:
+                from repro.analysis.aggregate import SeriesStats
+
+                stats = [SeriesStats.from_dict(cell)
+                         for cell in series_stats[label]]
+            figure.add_series(label, values, stats=stats)
         return figure
 
 

@@ -42,8 +42,26 @@ def render_table(table: TableData) -> str:
     return "\n".join(lines)
 
 
+def _series_cell(series, index: int, precision: int) -> str:
+    """One figure cell: ``mean±ci95`` across the seed axis, else the value.
+
+    Single-seed figures carry no stats (or n == 1 cells), so their cells —
+    and therefore the whole rendered table — stay byte-identical to the
+    pre-statistics output.
+    """
+
+    value = f"{series.values[index]:.{precision}f}"
+    if series.stats and series.stats[index].n > 1:
+        return f"{value}±{series.stats[index].ci95:.{precision}f}"
+    return value
+
+
 def render_figure(figure: FigureData, precision: int = 3) -> str:
-    """Render a :class:`FigureData` as a series-per-row text table."""
+    """Render a :class:`FigureData` as a series-per-row text table.
+
+    Cells of multi-seed figures render as ``mean±ci95`` (95% CI half-width
+    over the seed axis); single-seed figures render the plain value.
+    """
 
     x_header = figure.x_label
     x_cells = [_format_cell(x) for x in figure.x_values]
@@ -52,7 +70,8 @@ def render_figure(figure: FigureData, precision: int = 3) -> str:
     )
     col_widths = [
         max(len(x_cells[i]),
-            *(len(f"{s.values[i]:.{precision}f}") for s in figure.series.values()))
+            *(len(_series_cell(s, i, precision))
+              for s in figure.series.values()))
         if figure.series else len(x_cells[i])
         for i in range(len(x_cells))
     ]
@@ -66,10 +85,21 @@ def render_figure(figure: FigureData, precision: int = 3) -> str:
     lines.append("-" * len(header))
     for label, series in figure.series.items():
         cells = [
-            f"{series.values[i]:.{precision}f}".rjust(col_widths[i])
+            _series_cell(series, i, precision).rjust(col_widths[i])
             for i in range(len(series.values))
         ]
         lines.append(label.ljust(label_width) + " | " + " | ".join(cells))
+    if any(series.stats and any(cell.n > 1 for cell in series.stats)
+           for series in figure.series.values()):
+        seed_counts = sorted({
+            cell.n
+            for series in figure.series.values() if series.stats
+            for cell in series.stats
+        })
+        lines.append(
+            "(mean ± 95% CI half-width over "
+            + "/".join(str(n) for n in seed_counts) + " seeds)"
+        )
     if figure.notes:
         lines.append("")
         lines.append(f"note: {figure.notes}")

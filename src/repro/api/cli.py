@@ -80,6 +80,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
               f"engine={session.engine} backend={session.backend} "
               f"jobs={session.jobs} "
               f"cache={'on' if session.cache else 'off'}")
+        # The statistics line appears only for multi-seed specs: a
+        # single-seed run's textual output stays byte-identical to the
+        # pre-statistics CLI for existing consumers.
+        if len(session.spec.seeds) > 1:
+            seeds = ",".join(str(seed) for seed in session.spec.seeds)
+            print(f"seeds [{seeds}] | figure cells report mean ± 95% CI "
+                  f"over {len(session.spec.seeds)} seeds")
         wanted = [f for f in figures if f != "headline"]
         results = session.figures(wanted)
         for figure_id in wanted:

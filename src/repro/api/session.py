@@ -40,12 +40,15 @@ Explicit spec/session values therefore always beat ``REPRO_*`` variables.
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import shutil
 import tempfile
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.aggregate import SeriesStats
 
 from repro.analysis.executor import (
     BACKEND_ENV,
@@ -338,7 +341,9 @@ class Session:
     # ------------------------------------------------------------------ #
     # Streamed figures
     # ------------------------------------------------------------------ #
-    def figure(self, figure_id: str, **kwargs) -> FigureData:
+    def figure(self, figure_id: str, *,
+               target_ci: Optional[float] = None,
+               max_seeds: Optional[int] = None, **kwargs) -> FigureData:
         """Compute one figure through the streaming path.
 
         The figure's declarative :class:`SweepPlan` is submitted as
@@ -347,9 +352,86 @@ class Session:
         overlaps execution), and the figure's aggregation then reads the
         warm caches.  Bit-identical to the legacy batch
         ``ExperimentRunner.figureN`` path.
+
+        ``target_ci`` switches to an **adaptive campaign**: the spec's
+        base seed batch runs first, and additional seeds are then
+        submitted *only for the grid points whose 95% CI half-width is
+        still wider than the target*, round by round, until every cell
+        meets the target or the campaign has consumed ``max_seeds``
+        distinct seeds (default: the base batch plus four).  Cells of the
+        result may therefore carry different sample counts — each
+        :class:`~repro.analysis.aggregate.SeriesStats` records its own
+        ``n``.  Requires at least two base seeds (one sample has no CI to
+        compare).
         """
 
-        return self.stream(figure_id, **kwargs)
+        if target_ci is None:
+            if max_seeds is not None:
+                raise ValueError("max_seeds only applies with target_ci")
+            return self.stream(figure_id, **kwargs)
+        return self._adaptive_figure(figure_id, target_ci, max_seeds, kwargs)
+
+    def _adaptive_figure(self, figure_id: str, target_ci: float,
+                         max_seeds: Optional[int],
+                         kwargs: Dict[str, object]) -> FigureData:
+        runner = self._runner
+        plan = runner.figure_plan(figure_id, **kwargs)
+        if plan.empty:
+            raise ValueError(
+                f"figure {figure_id!r} has no sweep plan to adapt"
+            )
+        if len(plan.seeds) < 2:
+            raise ValueError(
+                "adaptive campaigns need at least two seeds in the spec: "
+                "one sample has a degenerate CI, so target_ci could never "
+                "trigger an escalation"
+            )
+        self._consume(runner.submit_plan(plan))
+        frames = [runner.figure_frame(plan, seed) for seed in plan.seeds]
+        template = frames[0]
+        # Per-cell sample lists, in the template's (series, x) order — the
+        # escalation loop appends to wide cells only, so counts go ragged.
+        samples: Dict[Tuple[str, object], List[float]] = {}
+        for frame in frames:
+            for label, series in frame.series.items():
+                for index, x in enumerate(frame.x_values):
+                    samples.setdefault((label, x), []).append(
+                        series.values[index]
+                    )
+        used = list(plan.seeds)
+        budget = max_seeds if max_seeds is not None else len(plan.seeds) + 4
+        while True:
+            wide = [
+                cell for cell, values in samples.items()
+                if SeriesStats.from_samples(values).ci95 > target_ci
+            ]
+            if not wide or len(used) >= budget:
+                break
+            new_seed = max(used) + 1
+            escalation = dataclasses.replace(
+                runner.escalation_plan(plan, wide), seeds=(new_seed,)
+            )
+            self._consume(runner.submit_plan(escalation))
+            frame = runner.figure_frame(escalation, new_seed)
+            for label, x in wide:
+                samples[(label, x)].append(
+                    frame.series[label].values[frame.x_values.index(x)]
+                )
+            used.append(new_seed)
+        figure = FigureData(
+            figure_id=template.figure_id,
+            title=template.title,
+            x_label=template.x_label,
+            y_label=template.y_label,
+            x_values=list(template.x_values),
+            notes=template.notes,
+        )
+        for label in template.series:
+            stats = [SeriesStats.from_samples(samples[(label, x)])
+                     for x in template.x_values]
+            figure.add_series(label, [cell.mean for cell in stats],
+                              stats=stats)
+        return figure
 
     def figures(self, figure_ids: Sequence[str],
                 **kwargs_by_figure) -> Dict[str, FigureData]:

@@ -124,25 +124,28 @@ def executor_differential(scenarios: Sequence[Scenario],
     """Check harness-shaped scenarios under ``jobs=1`` vs a parallel fabric.
 
     Scenarios are grouped by harness shape (cycle budget, trace sizes,
-    seed); each group becomes one (mix, mechanism, nrh, breakhammer) grid
-    described by an :class:`repro.api.ExperimentSpec` and executed by a
-    serial :class:`repro.api.Session` against a parallel one — the
-    parallel side through the futures/streaming path, pinning it to the
-    same determinism contract.  ``backend="local"`` pits serial against a
-    ``jobs``-process pool; ``backend="cluster"`` pits it against a socket
-    broker serving ``jobs`` spawned local workers (:mod:`repro.cluster`).
-    Returns a list of human-readable mismatch descriptions (empty = all
-    identical); non-harness-shaped scenarios are skipped.
+    *seed axis*); each group becomes one (mix, mechanism, nrh, breakhammer)
+    grid — multiplied across every seed of the shape's ``Scenario.seeds``
+    tuple, so multi-seed scenarios pin the statistical seed axis through
+    every backend — described by an :class:`repro.api.ExperimentSpec` and
+    executed by a serial :class:`repro.api.Session` against a parallel one;
+    the parallel side goes through the futures/streaming path, pinning it
+    to the same determinism contract.  ``backend="local"`` pits serial
+    against a ``jobs``-process pool; ``backend="cluster"`` pits it against
+    a socket broker serving ``jobs`` spawned local workers
+    (:mod:`repro.cluster`).  Returns a list of human-readable mismatch
+    descriptions (empty = all identical); non-harness-shaped scenarios are
+    skipped.
     """
 
     from repro.api import ExperimentSpec, RunPoint, Session
 
-    groups: Dict[Tuple[int, int, int, int], List[Scenario]] = {}
+    groups: Dict[Tuple[int, int, int, Tuple[int, ...]], List[Scenario]] = {}
     for scenario in scenarios:
         if not scenario.harness_shaped():
             continue
         shape = (scenario.sim_cycles, scenario.entries_per_core,
-                 scenario.attacker_entries, scenario.seed)
+                 scenario.attacker_entries, scenario.seeds)
         groups.setdefault(shape, []).append(scenario)
 
     if backend == "cluster":
@@ -153,15 +156,17 @@ def executor_differential(scenarios: Sequence[Scenario],
         rhs_label = f"jobs={jobs}"
 
     mismatches: List[str] = []
-    for (sim_cycles, entries, attacker_entries, seed), group in groups.items():
+    for (sim_cycles, entries, attacker_entries, seeds), group \
+            in groups.items():
         spec = ExperimentSpec.tiny(
             sim_cycles=sim_cycles,
             entries_per_core=entries,
             attacker_entries=attacker_entries,
+            seeds=seeds,
             engine="fast",
         )
         points = [RunPoint(s.mix, s.mechanism, s.nrh, s.breakhammer, seed)
-                  for s in group]
+                  for s in group for seed in seeds]
         # cache_dir="" keeps both sessions hermetic: never share state
         # through the disk, even under an exported REPRO_CACHE_DIR.
         with Session(spec, jobs=1, cache_dir="") as serial, \
@@ -170,14 +175,18 @@ def executor_differential(scenarios: Sequence[Scenario],
             # lookup so duplicated scenarios compare against their own run.
             handles = dict(zip(dict.fromkeys(points),
                                parallel.submit_grid(points)))
-            for scenario, point in zip(group, points):
-                lhs = serial.run(point.mix, point.mechanism, point.nrh,
-                                 point.breakhammer, seed=seed)
-                rhs = handles[point].result()
-                if dataclasses.asdict(lhs) != dataclasses.asdict(rhs):
-                    mismatches.append(
-                        f"jobs=1 vs {rhs_label} diverge on {scenario.label}"
-                    )
+            for scenario in group:
+                for seed in seeds:
+                    point = RunPoint(scenario.mix, scenario.mechanism,
+                                     scenario.nrh, scenario.breakhammer, seed)
+                    lhs = serial.run(point.mix, point.mechanism, point.nrh,
+                                     point.breakhammer, seed=seed)
+                    rhs = handles[point].result()
+                    if dataclasses.asdict(lhs) != dataclasses.asdict(rhs):
+                        mismatches.append(
+                            f"jobs=1 vs {rhs_label} diverge on "
+                            f"{scenario.label} seed={seed}"
+                        )
     return mismatches
 
 

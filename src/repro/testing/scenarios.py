@@ -60,6 +60,17 @@ class Scenario:
     #: Graphene/Hydra table sizes, …) as sorted (name, value) pairs so the
     #: scenario stays hashable, picklable, and replayable from its repr.
     mitigation_kwargs: Tuple[Tuple[str, object], ...] = ()
+    #: Additional trace seeds beyond ``seed``: a non-empty tuple turns the
+    #: executor/cluster differentials into multi-seed sweeps (the grid
+    #: point is replayed once per seed of :attr:`seeds`), pinning the
+    #: statistical seed axis through every execution backend.
+    extra_seeds: Tuple[int, ...] = ()
+
+    @property
+    def seeds(self) -> Tuple[int, ...]:
+        """The full seed axis of this scenario (primary seed first)."""
+
+        return (self.seed, *self.extra_seeds)
 
     @property
     def label(self) -> str:
@@ -78,6 +89,8 @@ class Scenario:
             f"{name.replace('_', '')}{value}"
             for name, value in self.mitigation_kwargs
         )
+        if self.extra_seeds:
+            extras.append("ms" + "".join(str(s) for s in self.extra_seeds))
         suffix = ("-" + "-".join(extras)) if extras else ""
         return (f"s{self.seed}-{self.mix}-{self.mechanism}"
                 f"-nrh{self.nrh}{suffix}")
@@ -190,14 +203,29 @@ def _sample_mix(rng: random.Random, max_cores: int) -> str:
     return "".join(letters)
 
 
+def _sample_extra_seeds(index: int, base_seed: int,
+                        sim_cycles: int) -> Tuple[int, ...]:
+    """Extra seeds (length 0–2, i.e. seed tuples of length 1–3).
+
+    Drawn from a scenario-local RNG keyed on already-sampled fields, not
+    from the campaign stream: extending the seed axis must never perturb
+    how the *other* dimensions of this or any later scenario sample.
+    """
+
+    local = random.Random(index * 7919 + base_seed * 131 + sim_cycles)
+    length = local.choice((0, 0, 0, 1, 2))
+    return tuple(base_seed + 1 + i for i in range(length))
+
+
 def _sample_scenario(rng: random.Random, index: int,
                      profile: FuzzProfile) -> Scenario:
     sim_cycles = rng.choice(profile.sim_cycles_choices)
     warmup = rng.choice((0, 0, 0, sim_cycles // 4, sim_cycles // 2))
     limit = rng.choice((None, None, None, 200, 500, 1_500))
     mechanism = FUZZ_MECHANISMS[index % len(FUZZ_MECHANISMS)]
+    seed = rng.randrange(profile.trace_seeds)
     return Scenario(
-        seed=rng.randrange(profile.trace_seeds),
+        seed=seed,
         mix=_sample_mix(rng, profile.max_cores),
         mechanism=mechanism,
         nrh=rng.choice(profile.nrh_choices),
@@ -211,6 +239,7 @@ def _sample_scenario(rng: random.Random, index: int,
         scheduler=rng.choice(("frfcfs_cap", "frfcfs_cap", "frfcfs", "fcfs")),
         time_compression=rng.choice((4.0, 4.0, 2.0)),
         mitigation_kwargs=_sample_mitigation_kwargs(rng, mechanism),
+        extra_seeds=_sample_extra_seeds(index, seed, sim_cycles),
     )
 
 
@@ -252,17 +281,21 @@ def executor_corpus() -> List[Scenario]:
     shape = dict(sim_cycles=1_200, entries_per_core=600,
                  attacker_entries=800, seed=0)
     grid = [
-        ("MMLA", "para", 64, True),
-        ("HHMA", "graphene", 64, False),
-        ("HMLA", "prac", 16, True),
-        ("HHAA", "rfm", 64, False),
-        ("MMLL", "hydra", 256, True),
-        ("HMML", "none", 1_024, False),
+        ("MMLA", "para", 64, True, ()),
+        ("HHMA", "graphene", 64, False, ()),
+        ("HMLA", "prac", 16, True, ()),
+        ("HHAA", "rfm", 64, False, ()),
+        ("MMLL", "hydra", 256, True, ()),
+        ("HMML", "none", 1_024, False, ()),
+        # Multi-seed grid points: the differential replays these once per
+        # seed, asserting serial and sharded sweeps agree on the seed axis.
+        ("HHMA", "graphene", 256, False, (1,)),
+        ("MMLA", "rfm", 256, True, (1, 2)),
     ]
     return [
         Scenario(mix=mix, mechanism=mechanism, nrh=nrh, breakhammer=bh,
-                 **shape)
-        for mix, mechanism, nrh, bh in grid
+                 extra_seeds=extra, **shape)
+        for mix, mechanism, nrh, bh, extra in grid
     ]
 
 
@@ -282,16 +315,20 @@ def cluster_corpus() -> List[Scenario]:
     shape = dict(sim_cycles=1_200, entries_per_core=600,
                  attacker_entries=800, seed=0)
     grid = [
-        ("MMLA", "para", 128, True),
-        ("HHMA", "graphene", 128, False),
-        ("MLLA", "prac", 128, True),
-        ("MMLL", "hydra", 128, False),
-        ("HMLA", "rfm", 128, True),
+        ("MMLA", "para", 128, True, ()),
+        ("HHMA", "graphene", 128, False, ()),
+        ("MLLA", "prac", 128, True, ()),
+        ("MMLL", "hydra", 128, False, ()),
+        ("HMLA", "rfm", 128, True, ()),
+        # Multi-seed grid points: the broker schedules the multiplied grid
+        # across its workers; results must match the serial seed axis.
+        ("MMLA", "graphene", 128, True, (1,)),
+        ("HHMA", "rfm", 128, False, (1, 2)),
     ]
     return [
         Scenario(mix=mix, mechanism=mechanism, nrh=nrh, breakhammer=bh,
-                 **shape)
-        for mix, mechanism, nrh, bh in grid
+                 extra_seeds=extra, **shape)
+        for mix, mechanism, nrh, bh, extra in grid
     ]
 
 

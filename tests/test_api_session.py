@@ -14,7 +14,6 @@ import dataclasses
 
 import pytest
 
-from repro.analysis.experiments import ExperimentRunner, HarnessConfig
 from repro.api import ExperimentSpec, RunPoint, Session, iter_completed
 
 #: Small enough for tier-1, big enough to exercise attack + benign grids,
@@ -32,15 +31,14 @@ FIG2_KWARGS = dict(mechanisms=["para", "rfm"])
 def legacy_figures() -> dict:
     """The batch-path reference (serial prefetch, hermetic caches)."""
 
-    runner = ExperimentRunner(
-        HarnessConfig.from_spec(SPEC.resolved("fast"), jobs=1, cache_dir="")
-    )
-    return {
-        "fig6": runner.figure6().as_dict(),
-        "fig12": runner.figure12().as_dict(),
-        "fig2": runner.figure2(**FIG2_KWARGS).as_dict(),
-        "headline": runner.headline_numbers(),
-    }
+    with Session(SPEC, jobs=1, cache_dir="") as session:
+        runner = session.runner
+        return {
+            "fig6": runner.figure6().as_dict(),
+            "fig12": runner.figure12().as_dict(),
+            "fig2": runner.figure2(**FIG2_KWARGS).as_dict(),
+            "headline": runner.headline_numbers(),
+        }
 
 
 @pytest.fixture(scope="module")

@@ -14,13 +14,13 @@ from __future__ import annotations
 
 import pytest
 
-from repro.analysis.experiments import ExperimentRunner, HarnessConfig
+from repro.api import ExperimentSpec, Session
 
 pytestmark = pytest.mark.bench_smoke
 
 #: One point per sweep dimension: a single attack mix, a single benign mix,
 #: one mechanism, one low threshold (plus the nrh_default baseline).
-_SMOKE_PROFILE = HarnessConfig(
+_SMOKE_SPEC = ExperimentSpec(
     sim_cycles=1_500,
     entries_per_core=600,
     attacker_entries=800,
@@ -29,16 +29,16 @@ _SMOKE_PROFILE = HarnessConfig(
     benign_mixes=("MMLL",),
     mechanisms=("para",),
     seeds=(0,),
-    jobs=2,
-    cache_dir="",  # hermetic even when REPRO_CACHE_DIR is exported
 )
 
 
 @pytest.fixture(scope="module")
 def smoke_runner():
-    with ExperimentRunner(_SMOKE_PROFILE) as runner:
-        assert runner.jobs == 2
-        yield runner
+    # jobs=2 / cache_dir="" keep it hermetic even when REPRO_JOBS or
+    # REPRO_CACHE_DIR are exported.
+    with Session(_SMOKE_SPEC, jobs=2, cache_dir="") as session:
+        assert session.runner.jobs == 2
+        yield session.runner
 
 
 def test_motivation_point(smoke_runner):

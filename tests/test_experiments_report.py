@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.analysis.experiments import ExperimentRunner, HarnessConfig
 from repro.analysis.figures import ComparisonEntry, FigureData, TableData
 from repro.analysis.report import (
     figure_summary,
@@ -10,13 +9,14 @@ from repro.analysis.report import (
     render_figure,
     render_table,
 )
+from repro.api import ExperimentSpec, Session
 
 
 @pytest.fixture(scope="module")
 def runner():
     """A shared smoke-scale runner (module-scoped: runs are memoised)."""
 
-    return ExperimentRunner(HarnessConfig.smoke())
+    return Session(ExperimentSpec.smoke(), jobs=1, cache_dir="").runner
 
 
 class TestFigureData:

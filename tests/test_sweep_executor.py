@@ -20,12 +20,13 @@ from repro.analysis.executor import (
     SerialSweepExecutor,
     resolve_jobs,
 )
-from repro.analysis.experiments import ExperimentRunner, HarnessConfig
+from repro.analysis.experiments import ExperimentRunner
 from repro.analysis.runcache import RunCache
+from repro.api import ExperimentSpec, Session
 from repro.sim.stats import RunStatistics
 
 
-def tiny_config(**overrides) -> HarnessConfig:
+def tiny_spec(**overrides) -> ExperimentSpec:
     """The smallest grid that still exercises attack + benign + baselines."""
 
     base = dict(
@@ -37,14 +38,23 @@ def tiny_config(**overrides) -> HarnessConfig:
         benign_mixes=("MMLL",),
         mechanisms=("para", "rfm"),
         seeds=(0,),
-        # Hermetic against exported env knobs: jobs=1 keeps the reference
-        # runners serial even under REPRO_JOBS, and cache_dir=""
-        # force-disables the disk cache even under REPRO_CACHE_DIR.
-        jobs=1,
-        cache_dir="",
     )
     base.update(overrides)
-    return HarnessConfig(**base)
+    return ExperimentSpec(**base)
+
+
+def tiny_runner(jobs: int = 1, cache_dir="", engine=None,
+                **spec_overrides) -> ExperimentRunner:
+    """A runner built through the supported Session/ExperimentSpec path.
+
+    Defaults keep it hermetic against exported env knobs: ``jobs=1``
+    stays serial even under ``REPRO_JOBS``, and ``cache_dir=""``
+    force-disables the disk cache even under ``REPRO_CACHE_DIR``.
+    """
+
+    session = Session(tiny_spec(**spec_overrides), jobs=jobs,
+                      cache_dir=cache_dir, engine=engine)
+    return session.runner
 
 
 GRID = [
@@ -79,11 +89,11 @@ class TestParallelDeterminism:
     """REPRO_JOBS=4 must be bit-identical to the serial path."""
 
     def test_parallel_sweep_bit_identical_to_serial(self):
-        serial = ExperimentRunner(tiny_config())
+        serial = tiny_runner()
         for mix, mechanism, nrh, bh in GRID:
             serial.run(mix, mechanism, nrh, bh)
 
-        with ExperimentRunner(tiny_config(jobs=4)) as parallel:
+        with tiny_runner(jobs=4) as parallel:
             assert parallel.jobs == 4
             assert isinstance(parallel._executor, ProcessPoolSweepExecutor)
             executed = parallel.prefetch(GRID, alone_mixes=("MMLA",))
@@ -99,14 +109,14 @@ class TestParallelDeterminism:
                 assert serial.alone_ipc(trace) == parallel.alone_ipc(trace)
 
     def test_parallel_figure_equals_serial_figure(self):
-        serial = ExperimentRunner(tiny_config())
-        with ExperimentRunner(tiny_config(jobs=2)) as parallel:
+        serial = tiny_runner()
+        with tiny_runner(jobs=2) as parallel:
             fig_serial = serial.figure6(nrh=64)
             fig_parallel = parallel.figure6(nrh=64)
             assert fig_serial.as_dict() == fig_parallel.as_dict()
 
     def test_prefetch_skips_memoised_points(self):
-        runner = ExperimentRunner(tiny_config())
+        runner = tiny_runner()
         runner.run("MMLA", "para", 64, False)
         executed_before = runner.runs_executed
         runner.prefetch([("MMLA", "para", 64, False)])
@@ -115,49 +125,45 @@ class TestParallelDeterminism:
 
 class TestDiskCache:
     def test_round_trip_is_exact(self, tmp_path):
-        first = ExperimentRunner(tiny_config(cache_dir=str(tmp_path)))
+        first = tiny_runner(cache_dir=str(tmp_path))
         stats = first.run("MMLA", "para", 64, True)
         assert first.disk_cache is not None
         assert len(first.disk_cache) == 1
 
-        second = ExperimentRunner(tiny_config(cache_dir=str(tmp_path)))
+        second = tiny_runner(cache_dir=str(tmp_path))
         reloaded = second.run("MMLA", "para", 64, True)
         assert second.runs_executed == 0
         assert second.disk_cache.hits == 1
         assert dataclasses.asdict(reloaded) == dataclasses.asdict(stats)
 
     def test_alone_baselines_persisted_too(self, tmp_path):
-        first = ExperimentRunner(tiny_config(cache_dir=str(tmp_path)))
+        first = tiny_runner(cache_dir=str(tmp_path))
         figure = first.figure6(nrh=64)
         # Grid points *and* the per-trace standalone-IPC baselines landed
         # on disk, so a fresh invocation simulates nothing at all.
         assert len(first.disk_cache) > first.runs_executed
-        second = ExperimentRunner(tiny_config(cache_dir=str(tmp_path)))
+        second = tiny_runner(cache_dir=str(tmp_path))
         again = second.figure6(nrh=64)
         assert second.runs_executed == 0
         assert second.disk_cache.misses == 0
         assert again.as_dict() == figure.as_dict()
 
     def test_payload_round_trip_bit_exact(self):
-        runner = ExperimentRunner(tiny_config())
+        runner = tiny_runner()
         stats = runner.run("MMLA", "rfm", 64, False)
         clone = RunStatistics.from_payload(stats.to_payload())
         assert dataclasses.asdict(clone) == dataclasses.asdict(stats)
         assert clone.energy.total_mj == stats.energy.total_mj
 
     def test_jobs_and_cache_dir_do_not_change_fingerprint(self, tmp_path):
-        plain = ExperimentRunner(tiny_config())
-        tuned = ExperimentRunner(
-            tiny_config(jobs=2, cache_dir=str(tmp_path))
-        )
+        plain = tiny_runner()
+        tuned = tiny_runner(jobs=2, cache_dir=str(tmp_path))
         tuned.close()
         assert plain.fingerprint == tuned.fingerprint
 
     def test_distinct_configs_use_distinct_namespaces(self, tmp_path):
-        a = ExperimentRunner(tiny_config(cache_dir=str(tmp_path)))
-        b = ExperimentRunner(
-            tiny_config(sim_cycles=2_500, cache_dir=str(tmp_path))
-        )
+        a = tiny_runner(cache_dir=str(tmp_path))
+        b = tiny_runner(sim_cycles=2_500, cache_dir=str(tmp_path))
         assert a.fingerprint != b.fingerprint
         a.run("MMLA", "para", 64, False)
         # The other configuration must not see the entry.
@@ -186,39 +192,37 @@ class TestDiskCache:
 
     def test_disabled_without_configuration(self, monkeypatch):
         monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
-        runner = ExperimentRunner(tiny_config(cache_dir=None))
+        runner = tiny_runner(cache_dir=None)
         assert runner.disk_cache is None
 
     def test_empty_string_force_disables(self, monkeypatch, tmp_path):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
-        assert ExperimentRunner(tiny_config(cache_dir="")).disk_cache is None
-        assert ExperimentRunner(
-            tiny_config(cache_dir=None)
-        ).disk_cache is not None
+        assert tiny_runner(cache_dir="").disk_cache is None
+        assert tiny_runner(cache_dir=None).disk_cache is not None
 
 
 class TestRunKeyHygiene:
     """Distinct trace/scale configurations must never share cache entries."""
 
     def test_run_key_includes_trace_and_engine_parameters(self):
-        runner = ExperimentRunner(tiny_config())
+        runner = tiny_runner()
         key = runner.run_key("MMLA", "para", 64, True, seed=3)
         assert key == ("MMLA", 3, "para", 64, True, 800, 1_000, 2_000, "fast")
 
     def test_entry_counts_separate_run_keys(self):
-        small = ExperimentRunner(tiny_config())
-        large = ExperimentRunner(tiny_config(entries_per_core=1_600))
+        small = tiny_runner()
+        large = tiny_runner(entries_per_core=1_600)
         assert small.run_key("MMLA", "para", 64, False) != \
             large.run_key("MMLA", "para", 64, False)
 
     def test_engine_separates_run_keys(self):
-        fast = ExperimentRunner(tiny_config())
-        cycle = ExperimentRunner(tiny_config(engine="cycle"))
+        fast = tiny_runner()
+        cycle = tiny_runner(engine="cycle")
         assert fast.run_key("MMLA", "para", 64, False) != \
             cycle.run_key("MMLA", "para", 64, False)
 
     def test_mix_cache_keyed_by_trace_sizes(self):
-        runner = ExperimentRunner(tiny_config())
+        runner = tiny_runner()
         runner.mix("MMLL")
         runner.config = dataclasses.replace(runner.config,
                                             entries_per_core=400)
@@ -227,7 +231,7 @@ class TestRunKeyHygiene:
         assert len(other.traces[0]) == 400
 
     def test_alone_ipc_keyed_by_trace_length(self):
-        runner = ExperimentRunner(tiny_config())
+        runner = tiny_runner()
         trace = runner.mix("MMLL").traces[0]
         runner.alone_ipc(trace)
         assert (trace.name, len(trace)) in runner._alone_ipc_cache
@@ -235,12 +239,12 @@ class TestRunKeyHygiene:
 
 class TestSerialExecutorPath:
     def test_serial_runner_uses_serial_executor(self):
-        runner = ExperimentRunner(tiny_config())
+        runner = tiny_runner()
         assert isinstance(runner._executor, SerialSweepExecutor)
         assert runner.jobs == 1
 
     def test_unknown_task_kind_rejected(self):
-        runner = ExperimentRunner(tiny_config())
+        runner = tiny_runner()
         with pytest.raises(ValueError):
             runner._executor.execute(
                 [RunTask(kind="teleport", mix_name="MMLL")]

@@ -222,10 +222,5 @@ class TestSpooledSessions:
 
 
 def tiny_reference_mix():
-    from repro.analysis.experiments import ExperimentRunner, HarnessConfig
-
-    runner = ExperimentRunner(
-        HarnessConfig.from_spec(SPEC.resolved("fast"), jobs=1, cache_dir=""),
-        _api_owned=True,
-    )
-    return runner.mix("MMLA")
+    # Spool-less session: regenerates the mix in-process for comparison.
+    return Session(SPEC, jobs=1, cache_dir="").runner.mix("MMLA")
