@@ -22,12 +22,13 @@ cluster backend with N spawned workers; default ``1,2,4,cluster2``).
 from __future__ import annotations
 
 import os
+import time
 
 import pytest
 
 from repro.api import ExperimentSpec, Session
 
-from conftest import run_once
+from conftest import record_sweep, run_once
 
 #: The swept grid: one attack mix, three mechanisms, two thresholds —
 #: 12 simulation grid points + the no-mitigation baseline + standalone-IPC
@@ -68,8 +69,12 @@ def _open_session(mode: str) -> Session:
 
 def _sweep(mode: str):
     with _open_session(mode) as session:
+        started = time.perf_counter()
         fig6 = session.figure("fig6", nrh=64)
         fig8 = session.figure("fig8")
+        record_sweep(figure="fig6+fig8", engine=session.engine, jobs=mode,
+                     seconds=time.perf_counter() - started,
+                     runs=session.runs_executed)
         return fig6, fig8, session.runs_executed
 
 

@@ -17,11 +17,20 @@ Scale is controlled by the ``REPRO_BENCH_PROFILE`` environment variable:
 The simulation engine is controlled by ``REPRO_ENGINE``:
 
 * ``fast`` (default) — event-driven fast-forward engine,
-* ``cycle``          — the per-cycle reference engine.
+* ``cycle``          — the per-cycle reference engine,
+* ``batch``          — the lockstep batch engine: sweeps coalesce
+  compatible grid points into one vectorised multi-lane run.
 
-Both engines produce identical statistics (asserted by
+All engines produce identical statistics (asserted by
 ``tests/test_engine_equivalence.py``); the variable exists so regressions in
-either engine can be timed and bisected independently.
+any engine can be timed and bisected independently.
+
+Sweep-timing benchmarks additionally persist a machine-readable record,
+``benchmarks/results/BENCH_sweep.json`` (one entry per measured sweep:
+figure/column, engine, jobs/backend, wall-clock seconds, runs executed),
+via :func:`record_sweep`, so engine and backend regressions can be
+tracked numerically across invocations instead of eyeballed from
+pytest-benchmark tables.
 
 Sweep execution is controlled by three more variables (see ROADMAP.md
 "Running sweeps"):
@@ -115,3 +124,43 @@ def run_once(benchmark, func, *args, **kwargs):
 
     return benchmark.pedantic(func, args=args, kwargs=kwargs,
                               rounds=1, iterations=1, warmup_rounds=0)
+
+
+# ---------------------------------------------------------------------- #
+# Machine-readable sweep timings
+# ---------------------------------------------------------------------- #
+_SWEEP_JSON = _RESULTS_DIR / "BENCH_sweep.json"
+_SWEEP_RECORDS: list = []
+
+
+def record_sweep(figure: str, engine: str, jobs, seconds: float,
+                 runs: int, **extra) -> None:
+    """Append one sweep timing to ``benchmarks/results/BENCH_sweep.json``.
+
+    ``figure`` names what was swept (a figure id or a column label),
+    ``engine`` the simulation engine, ``jobs`` the execution mode (worker
+    count or ``"clusterN"``), ``seconds`` the measured wall-clock, and
+    ``runs`` how many grid points actually simulated.  The file is
+    rewritten after every record, so partial benchmark runs still leave a
+    valid JSON document; each pytest session starts a fresh record list.
+    """
+
+    import json
+    import time
+
+    _SWEEP_RECORDS.append({
+        "figure": figure,
+        "engine": engine,
+        "jobs": jobs,
+        "seconds": round(seconds, 3),
+        "runs": runs,
+        **extra,
+    })
+    _RESULTS_DIR.mkdir(exist_ok=True)
+    document = {
+        "generated": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "profile": os.environ.get("REPRO_BENCH_PROFILE", "fast"),
+        "records": _SWEEP_RECORDS,
+    }
+    _SWEEP_JSON.write_text(json.dumps(document, indent=2) + "\n",
+                           encoding="utf-8")

@@ -29,7 +29,11 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.controller.queues import RequestQueue
 from repro.controller.request import MemoryRequest, RequestType
-from repro.controller.scheduler import BaseScheduler, FrFcfsCapScheduler
+from repro.controller.scheduler import (
+    BaseScheduler,
+    FrFcfsCapScheduler,
+    SchedulerDecision,
+)
 from repro.dram.address import AddressMapper, DramAddress, MappingScheme
 from repro.dram.commands import Command, CommandType
 from repro.dram.config import DeviceConfig
@@ -124,6 +128,32 @@ class MemoryController:
         # busy ticks pay nothing for the bookkeeping.
         self._progress = True
         self._stalled_commands: List[Tuple] = []
+
+        # Whether the mitigation can veto activations (BlockHammer-style).
+        # A gating mechanism makes the request-scan outcome depend on time
+        # in ways the scan caches below cannot see, so both are disabled.
+        self._gating_mitigation = (
+            type(self.mitigation).allow_activation
+            is not MitigationMechanism.allow_activation
+        )
+        # Failed-scan memo: after a request scan in which every tried
+        # decision failed, the candidate sequence and its failure are fully
+        # determined by (channel issue serial, queue versions) until the
+        # earliest timing bound of the stalled commands.  Until either
+        # changes, the scan can be replayed without walking the queue.
+        # ``None`` or ``(key, stalled_tuples, earliest_ready_bound)``.
+        self._scan_memo: Optional[Tuple] = None
+        # One-shot scan prediction installed by the batch engine's
+        # vectorised kernel: ``(cycle, issue_serial, read_version,
+        # write_version, winner_request_or_None, is_row_hit,
+        # stalled_tuples)``.  Consumed (and validated) by
+        # _issue_request_command; a stale or wrong prediction falls back to
+        # the ordinary scheduler walk, so predictions can never change
+        # behaviour — only skip provably-identical work.
+        self._scan_prediction: Optional[Tuple] = None
+        self.scan_predictions_used = 0
+        self.scan_mispredictions = 0
+        self.scan_memo_hits = 0
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -404,13 +434,76 @@ class MemoryController:
     #: preserving bank-level parallelism.
     MAX_SCHEDULE_ATTEMPTS = 16
 
+    #: Sentinel bound for a failed scan that only queue or channel
+    #: mutations (never bare time) can unblock.
+    _NO_TIMING_BOUND = 1 << 62
+
+    def _scan_key(self) -> Tuple[int, int, int]:
+        """Versions that pin the request scan's inputs.
+
+        The candidate sequence and every per-decision outcome apart from
+        pure timing readiness are functions of the queues' contents, the
+        channel state (open rows, timing floors, refresh/cap state — all
+        mutated only by command issues), and the write-drain flag (itself
+        determined by the queue occupancies).  So (issue serial, read
+        version, write version) unchanged ⟹ same candidates, same
+        priority sequence, same non-timing gates.
+        """
+
+        return (self.channel.issue_serial, self.read_queue.version,
+                self.write_queue.version)
+
     def _issue_request_command(self, cycle: int) -> bool:
+        prediction = self._scan_prediction
+        if prediction is not None:
+            self._scan_prediction = None
+            if (prediction[0] == cycle
+                    and prediction[1] == self.channel.issue_serial
+                    and prediction[2] == self.read_queue.version
+                    and prediction[3] == self.write_queue.version):
+                request = prediction[4]
+                if request is None:
+                    # Predicted full failure: replay the stalled commands
+                    # the walk would have recorded (they feed
+                    # next_event_cycle's timing bounds) and skip the walk.
+                    if prediction[6]:
+                        self._stalled_commands.extend(prediction[6])
+                    self.scan_predictions_used += 1
+                    return False
+                is_row_hit = prediction[5]
+                decision = SchedulerDecision(
+                    request, is_row_hit,
+                    "row-hit" if is_row_hit else "oldest-miss",
+                )
+                if self._try_serve(decision, cycle):
+                    self.scan_predictions_used += 1
+                    return True
+                # Wrong prediction: the failed attempt only appended a
+                # stalled-command bound (idempotent for next_event_cycle),
+                # so falling through to the full walk stays exact.
+                self.scan_mispredictions += 1
+
+        memo = self._scan_memo
+        if memo is not None:
+            if memo[0] == self._scan_key():
+                if cycle < memo[2]:
+                    # Nothing the scan depends on changed and no tried
+                    # command can have become timing-ready: the walk would
+                    # fail exactly as before.
+                    self._stalled_commands.extend(memo[1])
+                    self.scan_memo_hits += 1
+                    return False
+            else:
+                self._scan_memo = None
+
         candidates = self._candidate_requests()
         if not candidates:
+            self._scan_memo = (self._scan_key(), (), self._NO_TIMING_BOUND)
             return False
         ordered = self.scheduler.iter_prioritized(candidates, self.channel,
                                                   cycle, dedup_banks=True)
         attempts = 0
+        stall_start = len(self._stalled_commands)
         # A bank that could not accept one candidate's command this cycle
         # will not accept another candidate's either, so each bank is tried
         # at most once per cycle.
@@ -426,7 +519,35 @@ class MemoryController:
             attempts += 1
             if attempts >= self.MAX_SCHEDULE_ATTEMPTS:
                 break
+        if attempts < self.MAX_SCHEDULE_ATTEMPTS \
+                and not self._gating_mitigation:
+            self._memoize_failed_scan(cycle, stall_start)
         return False
+
+    def _memoize_failed_scan(self, cycle: int, stall_start: int) -> None:
+        """Record a fully-failed scan so identical ticks can skip it.
+
+        Only called when every yielded decision was tried (the attempt
+        budget did not truncate the walk) and the mitigation cannot gate
+        activations.  Decisions that failed the refresh-urgency gate left
+        no stalled command; they stay blocked until a REF issues, which
+        bumps the channel serial and invalidates the memo.
+        """
+
+        stalled = tuple(self._stalled_commands[stall_start:])
+        bound = self._NO_TIMING_BOUND
+        for kind, rank, bank_group, bank in stalled:
+            ready = self.channel.kind_earliest_ready_cycle(
+                kind, rank, bank_group, bank, cycle
+            )
+            if ready <= cycle:
+                # Non-timing failure of a nominally-ready command; the
+                # engine steps per-cycle here (see next_event_cycle), so
+                # do not memoize.
+                return
+            if ready < bound:
+                bound = ready
+        self._scan_memo = (self._scan_key(), stalled, bound)
 
     def _try_serve(self, decision, cycle: int) -> bool:
         request = decision.request

@@ -10,7 +10,7 @@ column commands cannot overlap their bursts.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, Iterable, List, Optional
+from typing import Deque, Dict, Iterable, List, Optional, Tuple
 
 from repro.dram.bank import Bank
 from repro.dram.commands import Command, CommandType
@@ -194,6 +194,15 @@ class Channel:
         self.commands_issued: Dict[CommandType, int] = {
             kind: 0 for kind in CommandType
         }
+        # Monotonic issue counter: any issued command may change open rows,
+        # timing floors, or scheduler cap state, so consumers that cache
+        # scan results (the batch engine's predictions, the controller's
+        # failed-scan memo) key on this serial to prove nothing changed.
+        self.issue_serial = 0
+        # Optional issue journal (set by the batch engine): records
+        # ``(kind, rank, bank_group, bank)`` per issued command so array
+        # mirrors can re-read exactly the state each command touched.
+        self.journal: Optional[List[Tuple]] = None
 
     # ------------------------------------------------------------------ #
     def rank(self, index: int) -> Rank:
@@ -252,6 +261,11 @@ class Channel:
         if command.kind.is_column_command:
             self._data_bus_free_at = cycle + self.timing.tbl
         self.commands_issued[command.kind] += 1
+        self.issue_serial += 1
+        if self.journal is not None:
+            self.journal.append(
+                (command.kind, command.rank, command.bank_group, command.bank)
+            )
         return done
 
     # ------------------------------------------------------------------ #

@@ -1,0 +1,150 @@
+"""Lockstep batch simulation engine.
+
+:class:`BatchSimulator` advances many *independent* simulations ("lanes")
+in lockstep: each iteration picks the minimum pending event cycle across
+all live lanes and ticks exactly the lanes due at that cycle, replicating
+the fast engine's per-lane loop (same jump targets, same warmup clamp,
+same stop conditions) so every lane's :class:`RunStatistics` is
+bit-identical to a solo ``engine="fast"`` (and hence ``engine="cycle"``)
+run of the same configuration.
+
+Two batch-only accelerations ride on the lockstep structure, both exact:
+
+* the vectorised FR-FCFS+Cap scan of :mod:`repro.sim.batch.kernel`
+  computes all due lanes' scheduling decisions as one array program per
+  global cycle and installs them as validated one-shot predictions;
+* ``System.batch_core_skip`` elides core ticks that are provably limited
+  to stall accounting, which ``Core.tick``'s catch-up replays exactly.
+
+Lanes the kernel cannot vectorise (gating mitigations, non-default
+schedulers, more banks than the scheduler's attempt budget) run the
+ordinary scalar scan inside the same lockstep loop.
+
+``Simulator.run()`` with ``engine="batch"`` delegates here with a batch
+of one; the sweep layer groups compatible grid points into larger batches
+(see :meth:`repro.analysis.experiments.ExperimentRunner.run_batch_group`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.sim.batch import kernel as _kernel
+from repro.sim.simulator import SimulationResult, Simulator
+
+
+class _Lane:
+    """One simulation in the lockstep batch (plus kernel mirror state)."""
+
+    def __init__(self, index: int, sim: Simulator) -> None:
+        self.index = index
+        self.sim = sim
+        self.next_cycle = 0
+        # (final cycle, finished_by_instruction_limit) once the lane stops.
+        self.end: Optional[Tuple[int, bool]] = None
+        # Set by the kernel when it can vectorise this lane's scan.
+        self.eligible = False
+
+
+class BatchSimulator:
+    """Runs a batch of independent simulations in lockstep."""
+
+    def __init__(self, simulators: List[Simulator],
+                 accelerate: bool = True) -> None:
+        if not simulators:
+            raise ValueError("batch needs at least one simulator")
+        self.simulators = list(simulators)
+        self.accelerate = accelerate
+        self.accelerator = None
+
+    # ------------------------------------------------------------------ #
+    def run(self) -> List[SimulationResult]:
+        """Run every lane to completion; results in input order."""
+
+        lanes = [_Lane(i, sim) for i, sim in enumerate(self.simulators)]
+        for lane in lanes:
+            sim = lane.sim
+            cfg = sim.sim_config
+            if cfg.stop_when_benign_done and cfg.instruction_limit is not None:
+                sim.system.track_instruction_limit(
+                    cfg.instruction_limit, sim.benign_threads
+                )
+            sim.system.batch_core_skip = True
+            # First tick: the fast engine always simulates cycle 1.
+            lane.next_cycle = min(1, cfg.max_cycles)
+
+        accel = None
+        if self.accelerate and _kernel.numpy_available():
+            accel = _kernel.ScanAccelerator(lanes)
+            if not accel.any_eligible:
+                accel = None
+        self.accelerator = accel
+
+        active = list(lanes)
+        while active:
+            cycle = min(lane.next_cycle for lane in active)
+            due = [lane for lane in active if lane.next_cycle == cycle]
+            if accel is not None:
+                accel.predict(due, cycle)
+            any_finished = False
+            for lane in due:
+                sim = lane.sim
+                cfg = sim.sim_config
+                sim.system.tick(cycle)
+                sim.ticks_executed += 1
+                warmup = cfg.warmup_cycles
+                if warmup and cycle == warmup:
+                    sim._warmup_baseline = sim._snapshot_counters()
+                if cfg.stop_when_benign_done and sim._benign_done():
+                    lane.end = (cycle, True)
+                    any_finished = True
+                elif cycle >= cfg.max_cycles:
+                    lane.end = (cycle, False)
+                    any_finished = True
+                else:
+                    next_cycle = max(sim.system.next_event_cycle(), cycle + 1)
+                    if warmup and cycle < warmup:
+                        next_cycle = min(next_cycle, warmup)
+                    lane.next_cycle = min(next_cycle, cfg.max_cycles)
+                if lane.end is not None:
+                    # Cores still being skipped at the final tick owe their
+                    # remaining per-cycle stall accounting.
+                    for core in sim.system.cores:
+                        core.flush_stall_accounting(cycle)
+            if any_finished:
+                active = [lane for lane in active if lane.end is None]
+
+        results: List[SimulationResult] = []
+        for lane in lanes:
+            end_cycle, finished_early = lane.end
+            results.append(SimulationResult(
+                system=lane.sim.system,
+                stats=lane.sim.collect_statistics(end_cycle),
+                finished_by_instruction_limit=finished_early,
+            ))
+        return results
+
+    # ------------------------------------------------------------------ #
+    def scan_stats(self) -> dict:
+        """Aggregate prediction-path counters (tests and benchmarks)."""
+
+        totals = {"predictions_used": 0, "mispredictions": 0,
+                  "memo_hits": 0, "eligible_lanes": 0, "lanes": 0}
+        for sim in self.simulators:
+            ctrl = sim.system.controller
+            totals["predictions_used"] += ctrl.scan_predictions_used
+            totals["mispredictions"] += ctrl.scan_mispredictions
+            totals["memo_hits"] += ctrl.scan_memo_hits
+            totals["lanes"] += 1
+        accel = self.accelerator
+        if accel is not None:
+            totals["eligible_lanes"] = sum(
+                1 for lane in accel.lanes if lane.eligible
+            )
+        return totals
+
+
+def run_batch(simulators: List[Simulator]) -> List[SimulationResult]:
+    """Convenience wrapper: run ``simulators`` as one lockstep batch."""
+
+    return BatchSimulator(simulators).run()

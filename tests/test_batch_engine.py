@@ -1,0 +1,170 @@
+"""The lockstep batch engine and the sweep layer's batch admission.
+
+Contract pinned here (``pytest -m batch_smoke`` for the headline check):
+a figure column computed with ``engine="batch"`` — where the sweep layer
+coalesces compatible grid points into multi-lane lockstep runs — must be
+bit-identical to the same column under the serial ``fast`` engine, and
+the coalescing/splitting plumbing (task grouping, list-valued futures
+sliced back to per-point handles, per-point cache entries) must be
+invisible to every consumer.  Engine-level bit-identity of the lockstep
+kernel itself is pinned by ``tests/test_engine_equivalence.py`` and the
+``fuzz_smoke`` corpus (tri-engine + batched-vs-solo differentials).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.executor import (
+    BATCH_GROUP_LANES,
+    BatchSliceFuture,
+    RunTask,
+    TASK_ALONE,
+    TASK_BATCH,
+    TASK_RUN,
+    _LazyFuture,
+    coalesce_batch_tasks,
+)
+from repro.api import ExperimentSpec, Session
+from repro.sim.batch import BatchSimulator
+from repro.sim.config import SimulationConfig, SystemConfig
+from repro.sim.simulator import Simulator
+from repro.workloads.attacker import AttackerConfig
+from repro.workloads.mixes import make_mix
+
+
+def _tiny_spec(**overrides) -> ExperimentSpec:
+    base = dict(
+        sim_cycles=2_000,
+        entries_per_core=800,
+        attacker_entries=1_000,
+        nrh_sweep=(1024, 64),
+        attack_mixes=("MMLA",),
+        benign_mixes=("MMLL",),
+        mechanisms=("para", "rfm"),
+        seeds=(0,),
+    )
+    base.update(overrides)
+    return ExperimentSpec(**base)
+
+
+def _run_task(mix="MMLA", seed=0, mechanism="para", nrh=64, bh=False):
+    return RunTask(kind=TASK_RUN, mix_name=mix, seed=seed,
+                   mechanism=mechanism, nrh=nrh, breakhammer=bh)
+
+
+# ---------------------------------------------------------------------- #
+# The headline contract
+# ---------------------------------------------------------------------- #
+@pytest.mark.batch_smoke
+def test_batched_figure_column_bit_identical_to_serial_fast():
+    """One figure column, batched admission vs serial fast runs.
+
+    ``engine="batch"`` routes the whole pending grid through coalesced
+    lockstep tasks (mechanisms, thresholds, and the BreakHammer toggle
+    vary across lanes of one batch); every derived figure series must
+    come out identical to the reference serial-fast sweep.
+    """
+
+    with Session(_tiny_spec(), jobs=1, cache_dir="", engine="fast") as ref:
+        reference = ref.figure("fig6", nrh=64)
+        ref_runs = ref.runs_executed
+    with Session(_tiny_spec(), jobs=1, cache_dir="", engine="batch") as bat:
+        batched = bat.figure("fig6", nrh=64)
+        # The same grid points executed (batching changes how, not what).
+        assert bat.runs_executed == ref_runs
+    assert batched.as_dict() == reference.as_dict()
+
+
+# ---------------------------------------------------------------------- #
+# Coalescing
+# ---------------------------------------------------------------------- #
+class TestCoalesce:
+    def test_groups_by_mix_and_preserves_order(self):
+        tasks = [
+            _run_task("MMLA", mechanism="para"),
+            _run_task("MMLL", mechanism="none", nrh=1024),
+            _run_task("MMLA", mechanism="rfm", bh=True),
+            _run_task("MMLA", mechanism="para", seed=1),
+        ]
+        out = coalesce_batch_tasks(tasks)
+        assert [t.kind for t in out] == [TASK_BATCH, TASK_RUN]
+        # Seed, mechanism, nrh, breakhammer all vary within the group.
+        assert out[0].group == (tasks[0], tasks[2], tasks[3])
+        assert out[1] == tasks[1]
+
+    def test_singletons_stay_plain_runs(self):
+        tasks = [_run_task("MMLA"), _run_task("HHMA")]
+        assert coalesce_batch_tasks(tasks) == tasks
+
+    def test_alone_tasks_pass_through(self):
+        alone = RunTask(kind=TASK_ALONE, mix_name="MMLA", trace_index=1)
+        tasks = [_run_task(), alone, _run_task(bh=True)]
+        out = coalesce_batch_tasks(tasks)
+        # The group claims its first-appearance position; the alone task
+        # passes through untouched at its own position.
+        assert [t.kind for t in out] == [TASK_BATCH, TASK_ALONE]
+        assert out[0].group == (tasks[0], tasks[2])
+        assert out[1] is alone
+
+    def test_group_size_cap_splits_chunks(self):
+        tasks = [_run_task(nrh=n) for n in range(BATCH_GROUP_LANES + 3)]
+        out = coalesce_batch_tasks(tasks)
+        assert [t.kind for t in out] == [TASK_BATCH, TASK_BATCH]
+        assert len(out[0].group) == BATCH_GROUP_LANES
+        assert len(out[1].group) == 3
+
+
+# ---------------------------------------------------------------------- #
+# Futures plumbing
+# ---------------------------------------------------------------------- #
+def test_batch_slice_future_indexes_parent_result():
+    parent = _LazyFuture(lambda: ["a", "b", "c"])
+    slices = [BatchSliceFuture(parent, i) for i in range(3)]
+    assert not slices[1].done()
+    assert slices[2].result() == "c"
+    assert slices[0].result() == "a"
+    assert slices[1].done()
+
+
+def test_run_batch_group_serves_cached_members_without_resimulating():
+    session = Session(_tiny_spec(), jobs=1, cache_dir="", engine="batch")
+    runner = session.runner
+    warm = _run_task("MMLA", mechanism="para")
+    cold = _run_task("MMLA", mechanism="rfm", bh=True)
+    warm_stats = runner.run(warm.mix_name, warm.mechanism, warm.nrh,
+                            warm.breakhammer)
+    executed = runner.runs_executed
+    group_stats = runner.run_batch_group((warm, cold))
+    # Only the cold member simulated; the warm one came from cache.
+    assert runner.runs_executed == executed + 1
+    assert dataclasses.asdict(group_stats[0]) == \
+        dataclasses.asdict(warm_stats)
+    assert dataclasses.asdict(group_stats[1]) == dataclasses.asdict(
+        runner.run(cold.mix_name, cold.mechanism, cold.nrh, cold.breakhammer)
+    )
+
+
+# ---------------------------------------------------------------------- #
+# The vectorised kernel really engages
+# ---------------------------------------------------------------------- #
+def test_kernel_predicts_without_mispredicting():
+    config = SystemConfig.fast_profile(mitigation="graphene", nrh=64,
+                                       sim_cycles=2_000)
+    mix = make_mix("MMLA", device=config.device, mapping=config.mapping,
+                   entries_per_core=800, attacker_entries=1_000, seed=0,
+                   attacker_config=AttackerConfig(entries=1_000, seed=0))
+    sims = [
+        Simulator(config.with_(breakhammer_enabled=bh), mix.traces,
+                  SimulationConfig(max_cycles=2_000, engine="fast"),
+                  attacker_threads=mix.attacker_threads)
+        for bh in (False, True)
+    ]
+    batch = BatchSimulator(sims)
+    batch.run()
+    scan = batch.scan_stats()
+    assert scan["eligible_lanes"] == 2
+    assert scan["predictions_used"] > 0
+    assert scan["mispredictions"] == 0

@@ -306,10 +306,17 @@ class TestCorruptFrame:
 # Differential: serial vs cluster over the fixed corpus
 # ---------------------------------------------------------------------- #
 def test_serial_vs_cluster_differential_clean():
+    # Tier-1 replays a representative subset — one plain point, one
+    # non-default mechanism, and the widest multi-seed point (which the
+    # broker fans out across its grid).  The full corpus runs through
+    # ``python -m repro.testing.fuzz --jobs N`` campaigns, and the fabric
+    # itself is pinned by TestClusterSmoke above.
     scenarios = cluster_corpus()
     assert len(scenarios) >= 5
     assert all(s.harness_shaped() for s in scenarios)
-    mismatches = executor_differential(scenarios, jobs=2, backend="cluster")
+    subset = [scenarios[0], scenarios[3], scenarios[-1]]
+    assert any(s.extra_seeds for s in subset)
+    mismatches = executor_differential(subset, jobs=2, backend="cluster")
     assert mismatches == []
 
 

@@ -1,13 +1,15 @@
-"""Cycle-engine vs fast-forward-engine equivalence.
+"""Cycle-engine vs fast-forward (and batch) engine equivalence.
 
 The fast engine (``SimulationConfig(engine="fast")``) must be an *exact*
 accelerator: it may skip cycles it can prove inert, but every
 :class:`repro.sim.stats.RunStatistics` field — per-thread IPCs, latency
 lists, activation counts, energy, BreakHammer counters — must come out
-bit-for-bit identical to the reference cycle engine.  These tests pin that
-contract on a benign mix, on a hammering-attacker mix, and under an
-instruction-limit stop condition, and also check the fast engine actually
-fast-forwards where there is slack.
+bit-for-bit identical to the reference cycle engine.  The batch engine
+(``engine="batch"`` — a lockstep batch of one here; sweeps form larger
+batches) carries the same contract, including its vectorised scheduler
+scan.  These tests pin both on a benign mix, on a hammering-attacker mix,
+and under an instruction-limit stop condition, and also check the fast
+engine actually fast-forwards where there is slack.
 """
 
 from __future__ import annotations
@@ -58,20 +60,25 @@ def _run(engine: str, mix_name: str, mechanism: str, breakhammer: bool,
 
 
 def _assert_identical(mix_name: str, mechanism: str, breakhammer: bool,
-                      instruction_limit=None, warmup_cycles=0, nrh=64):
+                      instruction_limit=None, warmup_cycles=0, nrh=64,
+                      engines=("fast", "batch")):
     cycle_result, _ = _run("cycle", mix_name, mechanism, breakhammer,
                            instruction_limit, warmup_cycles, nrh)
-    fast_result, fast_sim = _run("fast", mix_name, mechanism, breakhammer,
-                                 instruction_limit, warmup_cycles, nrh)
-    assert dataclasses.asdict(cycle_result.stats) == \
-        dataclasses.asdict(fast_result.stats)
-    assert cycle_result.finished_by_instruction_limit == \
-        fast_result.finished_by_instruction_limit
-    # Per-core introspection (including stall-cycle counters, which the
-    # fast engine replays for the cycles it skips) must match too.
     cycle_cores = [core.snapshot() for core in cycle_result.system.cores]
-    fast_cores = [core.snapshot() for core in fast_result.system.cores]
-    assert cycle_cores == fast_cores
+    fast_result = fast_sim = None
+    for engine in engines:
+        result, sim = _run(engine, mix_name, mechanism, breakhammer,
+                           instruction_limit, warmup_cycles, nrh)
+        if fast_result is None:
+            fast_result, fast_sim = result, sim
+        assert dataclasses.asdict(cycle_result.stats) == \
+            dataclasses.asdict(result.stats), engine
+        assert cycle_result.finished_by_instruction_limit == \
+            result.finished_by_instruction_limit, engine
+        # Per-core introspection (including stall-cycle counters, which
+        # the accelerated engines replay for skipped cycles) must match.
+        cores = [core.snapshot() for core in result.system.cores]
+        assert cycle_cores == cores, engine
     return cycle_result, fast_result, fast_sim
 
 
@@ -224,7 +231,7 @@ class TestEngineEquivalence:
         )
         mix = _mix("MMLA", config)
         stats = {}
-        for engine in ("cycle", "fast"):
+        for engine in ("cycle", "fast", "batch"):
             simulator = Simulator(
                 config, mix.traces,
                 SimulationConfig(max_cycles=1_500, engine=engine),
@@ -233,6 +240,8 @@ class TestEngineEquivalence:
             stats[engine] = simulator.run().stats
         assert dataclasses.asdict(stats["cycle"]) == \
             dataclasses.asdict(stats["fast"])
+        assert dataclasses.asdict(stats["cycle"]) == \
+            dataclasses.asdict(stats["batch"])
         assert stats["cycle"].cycles == 1_500
 
 

@@ -48,9 +48,19 @@ def test_example_runs_at_tiny_scale(script):
     assert proc.stdout.strip(), f"{script.name} printed nothing"
 
 
-def test_cli_example_runner_succeeds(capsys):
-    assert run_examples(scale="tiny") == 0
-    assert "examples succeeded" in capsys.readouterr().out
+def test_cli_example_runner_succeeds(capsys, tmp_path):
+    # Drive the runner over a one-example directory: the parametrized
+    # test above already executes every bundled example, so re-running
+    # the full set here would only duplicate that wall-clock.
+    single = tmp_path / "examples"
+    single.mkdir()
+    single.joinpath("quickstart.py").write_text(
+        (EXAMPLES_DIR / "quickstart.py").read_text(encoding="utf-8"),
+        encoding="utf-8",
+    )
+    assert run_examples(scale="tiny", examples_dir=single) == 0
+    out = capsys.readouterr().out
+    assert "1/1 examples succeeded" in out
 
 
 def test_cli_example_runner_reports_missing_directory(tmp_path):
