@@ -3,8 +3,9 @@
 
 Opens a ``Session(backend="cluster")`` — which hosts a broker on a Unix
 domain socket, materialises the spec's traces to an mmap'd columnar spool,
-and spawns two local worker processes — then streams a figure sweep
-through it and verifies the result is bit-identical to the serial path.
+and elastically spawns up to two local worker processes against the
+queue's backlog — then streams a figure sweep through it and verifies the
+result is bit-identical to the serial path.
 
 The same broker can serve workers on *other* hosts: point it at a TCP
 address and start workers wherever the code is installed::
@@ -32,7 +33,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.api import ExperimentSpec, Session
-from repro.cluster import cluster_broker, wait_for_workers
+from repro.cluster import cluster_broker
 
 TINY = os.environ.get("REPRO_EXAMPLE_SCALE", "") == "tiny"
 
@@ -55,15 +56,22 @@ def main() -> None:
               f"{WORKERS} socket workers ==")
         with Session(spec, backend="cluster", broker=endpoint,
                      workers=WORKERS, cache_dir="") as cluster:
-            wait_for_workers(cluster, WORKERS)
+            # workers=WORKERS is an elastic ceiling: one warm worker
+            # starts eagerly, the autoscaler grows the fleet while the
+            # queue backlog exceeds the live workers, and idle workers
+            # are reaped when the sweep drains.
             broker = cluster_broker(cluster)
             print(f"   fingerprint {cluster.fingerprint}")
             print(f"   trace spool at {cluster.spool_dir} "
                   "(workers mmap instead of regenerating)")
             figure = cluster.figure(FIGURE, nrh=NRH)
+            stats = cluster.cluster_stats()
             print(f"   {broker.results_received} point(s) computed by "
                   f"{broker.workers_seen} worker connection(s); "
-                  f"{broker.requeued_points} requeued")
+                  f"{broker.requeued_points} requeued; "
+                  f"{stats['scheduled_by_cost']} cost-ordered, "
+                  f"{stats['chunked_claims']} chunked claim(s), "
+                  f"{stats['autoscale_events']} autoscale event(s)")
 
     identical = figure.as_dict() == reference.as_dict()
     print(f"cluster == serial: {identical}")

@@ -42,7 +42,9 @@ from __future__ import annotations
 
 import dataclasses
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -216,6 +218,16 @@ class _LazyFuture:
     "streamed" serial sweep still executes tasks one at a time, in the
     order their results are consumed — the reference behaviour — while
     presenting the same future interface as the process pool.
+
+    ``result(timeout)`` semantics: the thunk runs synchronously on the
+    calling thread, so a timeout cannot *preempt* it — it is honoured
+    after the fact instead.  When evaluation overruns ``timeout``,
+    :class:`concurrent.futures.TimeoutError` is raised exactly as a pool
+    future would have done at that moment; the computed outcome stays
+    cached (``done()`` turns true, matching a pool task that kept running
+    past its caller's patience), so a retrying ``result()`` returns it
+    immediately.  :class:`BatchSliceFuture` forwards ``timeout`` to its
+    parent and inherits whichever behaviour the parent has.
     """
 
     __slots__ = ("_thunk", "_outcome", "_error", "_done")
@@ -227,15 +239,25 @@ class _LazyFuture:
         self._done = False
 
     def result(self, timeout: Optional[float] = None):
+        overran = False
         if not self._done:
+            started = time.perf_counter()
             try:
                 self._outcome = self._thunk()
             except BaseException as exc:  # noqa: BLE001 - future semantics
                 self._error = exc
             self._done = True
             self._thunk = None
+            overran = (timeout is not None
+                       and time.perf_counter() - started > timeout)
         if self._error is not None:
             raise self._error
+        if overran:
+            raise FuturesTimeoutError(
+                f"serial task took longer than the requested "
+                f"timeout of {timeout}s (the outcome is cached; "
+                "a retry returns it immediately)"
+            )
         return self._outcome
 
     def done(self) -> bool:

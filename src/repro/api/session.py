@@ -285,6 +285,21 @@ class Session:
     def runs_executed(self) -> int:
         return self._runner.runs_executed
 
+    def cluster_stats(self) -> Dict[str, object]:
+        """Scheduling/elasticity counters of the cluster backend.
+
+        A snapshot of the broker's observable state: scheduling mode,
+        ``scheduled_by_cost`` / ``chunked_claims`` / ``autoscale_events``
+        counters, per-worker served/elapsed tallies, queue depth, and the
+        cost model's learned-table size and persistence path.  Raises
+        :class:`TypeError` on non-cluster sessions (same contract as
+        :func:`repro.cluster.cluster_broker`).
+        """
+
+        from repro.cluster import cluster_broker
+
+        return cluster_broker(self).stats()
+
     def close(self) -> None:
         if not self._closed:
             self._runner.close()

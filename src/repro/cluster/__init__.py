@@ -6,14 +6,22 @@ embarrassingly parallel figure grids past one machine's process pool:
 * :class:`ClusterBroker` owns a spec's work queue, hands connecting
   workers the harness configuration, addresses every unit of work by
   (spec fingerprint, run key), requeues the in-flight points of dead or
-  corrupt-stream workers, and writes results through the shared
-  persistent run cache so a resumed broker skips completed points;
+  corrupt-stream workers (bounded — a poison point that keeps killing
+  workers fails its future with a diagnostic instead of looping forever),
+  and writes results through the shared persistent run cache so a resumed
+  broker skips completed points.  Scheduling is cost-aware: a
+  :class:`CostModel` (static features + an online EWMA persisted next to
+  the run cache) orders dispatch longest-job-first and chunks cheap
+  points several-per-claim;
 * :class:`ClusterExecutor` plugs that broker in as the third
   :class:`~repro.analysis.executor.SweepExecutor` backend — selected by
   ``Session(backend="cluster", broker=..., workers=N)`` or
   ``REPRO_BACKEND=cluster`` — implementing both ``execute()`` and the
   futures ``submit()`` path, so streamed figure aggregation works
-  unchanged on top of it;
+  unchanged on top of it.  ``workers=N`` is an elastic ceiling: one warm
+  worker spawns eagerly and an autoscaler grows the fleet against queue
+  backlog, reaping idle workers when the queue drains
+  (``Session.cluster_stats()`` exposes the scheduling counters);
 * the CLI pair runs each side standalone::
 
       python -m repro.cluster broker spec.toml --listen 0.0.0.0:7777
@@ -26,6 +34,7 @@ and co-located workers mmap the session's columnar trace spool
 """
 
 from repro.cluster.broker import ClusterBroker, ClusterTaskError
+from repro.cluster.costs import CostModel, describe_task, mechanism_class
 from repro.cluster.executor import ClusterExecutor
 from repro.cluster.protocol import (
     Address,
@@ -40,6 +49,7 @@ from repro.cluster.worker import (
     reap_workers,
     spawn_local_workers,
     worker_loop,
+    worker_stderr,
 )
 
 __all__ = [
@@ -48,16 +58,20 @@ __all__ = [
     "ClusterExecutor",
     "ClusterTaskError",
     "ConnectionClosed",
+    "CostModel",
     "FrameError",
     "PROTOCOL_VERSION",
     "ProtocolError",
     "cluster_broker",
+    "describe_task",
     "execute_claimed_task",
+    "mechanism_class",
     "parse_address",
     "reap_workers",
     "spawn_local_workers",
     "wait_for_workers",
     "worker_loop",
+    "worker_stderr",
 ]
 
 

@@ -3,34 +3,43 @@
 A :class:`ClusterBroker` listens on a TCP or Unix endpoint, hands each
 connecting worker the spec's :class:`~repro.analysis.experiments.HarnessConfig`
 (plus the spec fingerprint all work is addressed by), and then feeds it
-grid points one at a time.  Fault tolerance is structural:
+grid points by *claims*.  Fault tolerance is structural:
 
-* **worker death / disconnect** — the point that worker had in flight is
-  requeued and handed to the next free worker; the sweep's result cannot
-  change, only its wall-clock;
+* **worker death / disconnect** — the points that worker had in flight
+  are requeued (solo — never re-chunked) and handed to the next free
+  worker; the sweep's result cannot change, only its wall-clock.  A point
+  requeued more than ``max_requeues`` times (default 3 — every worker
+  that claimed it died) is treated as poison: its future fails with a
+  diagnostic naming the task and the workers it killed, instead of being
+  requeued forever;
 * **stale workers** — a worker announcing (or computing) a fingerprint
   other than the broker's is rejected at handshake, before any work is
   dispatched;
 * **corrupt frames** — a truncated or bit-flipped frame fails the CRC
   check (:class:`~repro.cluster.protocol.FrameError`), the connection is
-  dropped, and the in-flight point is requeued;
+  dropped, and the in-flight points are requeued;
 * **resumption** — every result is written through the broker's shared
   persistent :class:`~repro.analysis.runcache.RunCache` as it arrives, so
   a broker restarted over the same cache directory skips completed points
   (they come back as cache hits before ever reaching the queue).
 
-The broker is deliberately dumb about *what* a task means: it moves
-:class:`~repro.analysis.executor.RunTask` pickles out and outcome pickles
-back, resolving one :class:`concurrent.futures.Future` per task.  The
-scheduling policy is pull-based one-at-a-time dispatch — with grid points
-costing seconds each, per-point dispatch load-balances better than any
-chunking, exactly like the process-pool executor's ``chunksize=1``.
+Scheduling is cost-aware (the tentpole of the paper's own argument —
+throttle by *observed cost*): a :class:`~repro.cluster.costs.CostModel`
+predicts seconds per task, the queue is a cost-ordered priority queue
+dispatching longest-job-first, and points predicted under a cheapness
+threshold are handed out several per ``work`` frame so per-frame
+round-trips stop dominating tiny fast-engine points.  Observed ``elapsed``
+seconds stream back in every ``result`` frame and refine the model online;
+the learned table persists next to the run cache.  ``scheduling="fifo"``
+(or ``REPRO_CLUSTER_SCHED=fifo``) restores blind one-at-a-time dispatch
+for comparison — ordering is a wall-clock choice, never a correctness
+one, so both modes produce bit-identical figures.
 """
 
 from __future__ import annotations
 
+import heapq
 import os
-import queue
 import socket
 import threading
 import time
@@ -39,12 +48,45 @@ from typing import Dict, List, Optional
 
 from repro.analysis.runcache import RunCache
 from repro.cluster import protocol
+from repro.cluster.costs import CostModel, describe_task
 from repro.cluster.protocol import (
     Address,
     ConnectionClosed,
     FrameError,
     ProtocolError,
 )
+
+#: Scheduling-policy knobs (constructor arguments beat the environment).
+SCHED_ENV = "REPRO_CLUSTER_SCHED"            # "cost" (default) | "fifo"
+CHEAP_SECONDS_ENV = "REPRO_CLUSTER_CHEAP_SECONDS"
+CHUNK_ENV = "REPRO_CLUSTER_CHUNK"
+MAX_REQUEUES_ENV = "REPRO_CLUSTER_MAX_REQUEUES"
+
+#: Defaults: points predicted under ``DEFAULT_CHEAP_SECONDS`` are handed
+#: out up to ``DEFAULT_CHUNK`` per claim; anything above dispatches solo.
+DEFAULT_CHEAP_SECONDS = 0.75
+DEFAULT_CHUNK = 4
+DEFAULT_MAX_REQUEUES = 3
+
+
+def _env_float(name: str, default: float) -> float:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        return default
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        return default
 
 
 class ClusterTaskError(RuntimeError):
@@ -54,12 +96,64 @@ class ClusterTaskError(RuntimeError):
 class _Entry:
     """Book-keeping of one submitted task."""
 
-    __slots__ = ("task", "future", "requeues")
+    __slots__ = ("task", "future", "requeues", "cost", "solo", "killed_by")
 
-    def __init__(self, task) -> None:
+    def __init__(self, task, cost: float) -> None:
         self.task = task
         self.future: Future = Future()
         self.requeues = 0
+        self.cost = cost
+        self.solo = False          # requeued tasks are never re-chunked
+        self.killed_by: List[str] = []
+
+
+class _CostQueue:
+    """A cost-ordered priority queue with chunked claims for cheap tasks.
+
+    ``claim`` pops the most expensive pending task first (longest-job-first
+    keeps the stragglers off the critical path); when the head is below the
+    cheapness threshold, up to ``max_chunk`` equally-cheap non-solo tasks
+    ride along in the same claim.  ``fifo=True`` degrades to submission
+    order with no chunking (the comparison baseline).
+    """
+
+    def __init__(self, fifo: bool = False) -> None:
+        self._heap: List[tuple] = []
+        self._cond = threading.Condition()
+        self._seq = 0
+        self._fifo = fifo
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._heap)
+
+    def put(self, task, cost: float, solo: bool = False) -> None:
+        with self._cond:
+            self._seq += 1
+            priority = 0.0 if self._fifo else -cost
+            heapq.heappush(self._heap, (priority, self._seq, task, solo))
+            self._cond.notify()
+
+    def claim(self, max_chunk: int, cheap_seconds: float,
+              timeout: float) -> List[object]:
+        """Pop one claim: ``[]`` when nothing arrived within ``timeout``."""
+
+        with self._cond:
+            if not self._heap:
+                self._cond.wait(timeout)
+            if not self._heap:
+                return []
+            priority, _seq, task, solo = heapq.heappop(self._heap)
+            claimed = [task]
+            if self._fifo or solo or -priority >= cheap_seconds:
+                return claimed
+            while self._heap and len(claimed) < max_chunk:
+                head_priority, _s, head_task, head_solo = self._heap[0]
+                if head_solo or -head_priority >= cheap_seconds:
+                    break
+                heapq.heappop(self._heap)
+                claimed.append(head_task)
+            return claimed
 
 
 class ClusterBroker:
@@ -69,22 +163,45 @@ class ClusterBroker:
     the caller pins ``jobs=1``/``backend="local"`` and disables the worker
     disk cache (the broker owns persistence).  ``cache`` is the broker's
     shared :class:`RunCache` (or ``None``); results are written through it
-    as they stream in.
+    as they stream in, and the learned cost table persists beside them.
     """
 
     def __init__(self, worker_config, address: Optional[Address] = None,
-                 cache: Optional[RunCache] = None) -> None:
+                 cache: Optional[RunCache] = None,
+                 scheduling: Optional[str] = None,
+                 cheap_seconds: Optional[float] = None,
+                 chunk_size: Optional[int] = None,
+                 max_requeues: Optional[int] = None) -> None:
         from repro.analysis.experiments import harness_fingerprint
 
         self.worker_config = worker_config
         self.fingerprint = harness_fingerprint(worker_config)
         self.cache = cache
-        self._queue: "queue.SimpleQueue" = queue.SimpleQueue()
+        self.scheduling = (scheduling
+                           or os.environ.get(SCHED_ENV, "").strip().lower()
+                           or "cost")
+        if self.scheduling not in ("cost", "fifo"):
+            raise ValueError(
+                f"unknown cluster scheduling {self.scheduling!r} "
+                "(expected 'cost' or 'fifo')"
+            )
+        self.cheap_seconds = (cheap_seconds if cheap_seconds is not None
+                              else _env_float(CHEAP_SECONDS_ENV,
+                                              DEFAULT_CHEAP_SECONDS))
+        self.chunk_size = max(1, chunk_size if chunk_size is not None
+                              else _env_int(CHUNK_ENV, DEFAULT_CHUNK))
+        self.max_requeues = max(0, max_requeues if max_requeues is not None
+                                else _env_int(MAX_REQUEUES_ENV,
+                                              DEFAULT_MAX_REQUEUES))
+        self.cost_model = CostModel.for_cache(worker_config, cache)
+        self._queue = _CostQueue(fifo=self.scheduling == "fifo")
         self._entries: Dict[object, _Entry] = {}
         self._lock = threading.Lock()
         self._stop = threading.Event()
         self._threads: List[threading.Thread] = []
         self._connections: List[socket.socket] = []
+        self._release_requests = 0
+        self._worker_seq = 0
         self._listener, self.address = protocol.bind_listener(
             address or Address(kind="tcp", host="127.0.0.1", port=0)
         )
@@ -97,6 +214,10 @@ class ClusterBroker:
         self.requeued_points = 0
         self.corrupt_frames = 0
         self.results_received = 0
+        self.scheduled_by_cost = 0
+        self.chunked_claims = 0
+        self.autoscale_events = 0
+        self.worker_stats: Dict[str, Dict[str, float]] = {}
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -105,7 +226,8 @@ class ClusterBroker:
         accept = threading.Thread(target=self._accept_loop,
                                   name="repro-cluster-accept", daemon=True)
         accept.start()
-        self._threads.append(accept)
+        with self._lock:
+            self._threads.append(accept)
         return self
 
     def stop(self) -> None:
@@ -127,6 +249,7 @@ class ClusterBroker:
             pending = [entry for entry in self._entries.values()
                        if not entry.future.done()]
             connections = list(self._connections)
+            threads = list(self._threads)
         for entry in pending:
             entry.future.set_exception(RuntimeError(
                 "cluster broker stopped with the point still pending"
@@ -142,8 +265,9 @@ class ClusterBroker:
                 sock.close()
             except OSError:
                 pass
-        for thread in self._threads:
+        for thread in threads:
             thread.join(timeout=5.0)
+        self.cost_model.save()
 
     @property
     def worker_count(self) -> int:
@@ -165,13 +289,14 @@ class ClusterBroker:
             time.sleep(0.02)
 
     # ------------------------------------------------------------------ #
-    # Submission
+    # Submission and introspection
     # ------------------------------------------------------------------ #
     def submit(self, task) -> Future:
         """Enqueue one task; duplicate submissions share one future."""
 
         if self._stop.is_set():
             raise RuntimeError("cannot submit to a stopped cluster broker")
+        cost = self.cost_model.predict(task)
         with self._lock:
             # Checked under the lock against fail_pending(): a task either
             # observes the dead fabric here, or is registered before the
@@ -180,10 +305,65 @@ class ClusterBroker:
                 raise RuntimeError(self.fabric_error)
             entry = self._entries.get(task)
             if entry is None:
-                entry = _Entry(task)
+                entry = _Entry(task, cost)
                 self._entries[task] = entry
-                self._queue.put(task)
+                self._queue.put(task, cost=cost)
         return entry.future
+
+    def queue_depth(self) -> int:
+        """Tasks enqueued but not yet claimed by any worker."""
+
+        return len(self._queue)
+
+    def pending_count(self) -> int:
+        """Submitted tasks whose futures are not resolved yet."""
+
+        with self._lock:
+            return sum(1 for entry in self._entries.values()
+                       if not entry.future.done())
+
+    def release_idle(self, count: int) -> None:
+        """Ask up to ``count`` idle workers to shut down (autoscaler)."""
+
+        if count <= 0:
+            return
+        with self._lock:
+            self._release_requests += count
+
+    def note_autoscale(self) -> None:
+        """Record one fleet scale event (spawn batch or idle reap)."""
+
+        with self._lock:
+            self.autoscale_events += 1
+
+    def stats(self) -> Dict[str, object]:
+        """A snapshot of scheduling/elasticity counters (picklable)."""
+
+        with self._lock:
+            workers = {wid: dict(per) for wid, per in
+                       self.worker_stats.items()}
+            snapshot = {
+                "scheduling": self.scheduling,
+                "scheduled_by_cost": self.scheduled_by_cost,
+                "chunked_claims": self.chunked_claims,
+                "autoscale_events": self.autoscale_events,
+                "results_received": self.results_received,
+                "requeued_points": self.requeued_points,
+                "corrupt_frames": self.corrupt_frames,
+                "workers_seen": self.workers_seen,
+                "workers_connected": self.workers_connected,
+                "workers_rejected": self.workers_rejected,
+                "workers": workers,
+            }
+        snapshot["queue_depth"] = self.queue_depth()
+        snapshot["pending_points"] = self.pending_count()
+        snapshot["cost_model"] = {
+            "learned_keys": len(self.cost_model),
+            "observations": self.cost_model.observations,
+            "path": (str(self.cost_model.path)
+                     if self.cost_model.path is not None else None),
+        }
+        return snapshot
 
     # ------------------------------------------------------------------ #
     # Connection handling
@@ -194,15 +374,18 @@ class ClusterBroker:
                 sock, _peer = self._listener.accept()
             except OSError:
                 break  # listener closed by stop()
-            with self._lock:
-                self._connections.append(sock)
-                self.workers_seen += 1
             handler = threading.Thread(target=self._serve_worker,
                                        args=(sock,),
                                        name="repro-cluster-worker",
                                        daemon=True)
+            with self._lock:
+                self._connections.append(sock)
+                self.workers_seen += 1
+                # Long-lived brokers see many worker generations: prune
+                # finished handler threads instead of accumulating them.
+                self._threads = [t for t in self._threads if t.is_alive()]
+                self._threads.append(handler)
             handler.start()
-            self._threads.append(handler)
 
     def _reject(self, sock: socket.socket, reason: str) -> None:
         with self._lock:
@@ -248,61 +431,81 @@ class ClusterBroker:
         return True
 
     def _serve_worker(self, sock: socket.socket) -> None:
-        in_flight = None
-        serving = False
+        in_flight: List[object] = []
+        worker_id: Optional[str] = None
         try:
             if not self._handshake(sock):
                 return
-            serving = True
             with self._lock:
+                self._worker_seq += 1
+                worker_id = f"worker-{self._worker_seq}"
                 self.workers_connected += 1
+                self.worker_stats[worker_id] = {"served": 0, "elapsed": 0.0}
             while True:
-                task = self._next_task(sock)
-                if task is None:
+                tasks = self._claim(sock)
+                if tasks is None:
                     return  # shutdown sent
-                in_flight = task
-                protocol.send_message(sock, protocol.WORK, task=task,
+                in_flight = list(tasks)
+                protocol.send_message(sock, protocol.WORK, tasks=tasks,
                                       fingerprint=self.fingerprint)
-                kind, payload = protocol.recv_message(sock)
-                if kind == protocol.RESULT and payload.get("task") == task:
-                    self._resolve(task, payload)
-                    in_flight = None
-                elif kind == protocol.ERROR and payload.get("task") == task:
-                    self._fail(task, payload.get("message", "worker error"))
-                    in_flight = None
-                else:
-                    raise FrameError(
-                        f"expected a result for {task!r}, got {kind!r}"
-                    )
+                for task in tasks:
+                    kind, payload = protocol.recv_message(sock)
+                    if (kind == protocol.RESULT
+                            and payload.get("task") == task):
+                        self._resolve(task, payload, worker_id)
+                    elif (kind == protocol.ERROR
+                            and payload.get("task") == task):
+                        self._fail(task,
+                                   payload.get("message", "worker error"))
+                    else:
+                        raise FrameError(
+                            f"expected a result for {task!r}, got {kind!r}"
+                        )
+                    in_flight.remove(task)
         except FrameError:
             with self._lock:
                 self.corrupt_frames += 1
         except (ConnectionClosed, ProtocolError, OSError):
             pass
         finally:
-            if serving:
+            if worker_id is not None:
                 with self._lock:
                     self.workers_connected -= 1
-            if in_flight is not None:
-                self._requeue(in_flight)
+            for task in in_flight:
+                self._requeue(task, worker_id)
             try:
                 sock.close()
             except OSError:
                 pass
 
-    def _next_task(self, sock: socket.socket):
-        """Pull the next queued task, or send shutdown when stopping."""
+    def _claim(self, sock: socket.socket) -> Optional[List[object]]:
+        """Claim the next dispatch for one worker, or send shutdown."""
 
         while True:
-            try:
-                return self._queue.get(timeout=0.1)
-            except queue.Empty:
-                if self._stop.is_set():
-                    try:
-                        protocol.send_message(sock, protocol.SHUTDOWN)
-                    except OSError:
-                        pass
-                    return None
+            tasks = self._queue.claim(self.chunk_size, self.cheap_seconds,
+                                      timeout=0.1)
+            if tasks:
+                with self._lock:
+                    if self.scheduling == "cost":
+                        self.scheduled_by_cost += len(tasks)
+                    if len(tasks) > 1:
+                        self.chunked_claims += 1
+                return tasks
+            if self._stop.is_set() or self._take_release():
+                try:
+                    protocol.send_message(sock, protocol.SHUTDOWN)
+                except OSError:
+                    pass
+                return None
+
+    def _take_release(self) -> bool:
+        """Consume one pending idle-release request (autoscaler reap)."""
+
+        with self._lock:
+            if self._release_requests > 0:
+                self._release_requests -= 1
+                return True
+        return False
 
     # ------------------------------------------------------------------ #
     # Outcome plumbing
@@ -311,12 +514,20 @@ class ClusterBroker:
         with self._lock:
             return self._entries.get(task)
 
-    def _resolve(self, task, payload: dict) -> None:
+    def _resolve(self, task, payload: dict,
+                 worker_id: Optional[str] = None) -> None:
         if self.cache is not None:
             for key, stats in payload.get("entries", ()):
                 self.cache.put(key, stats)
+        elapsed = payload.get("elapsed")
+        self.cost_model.observe(task, elapsed)
         with self._lock:
             self.results_received += 1
+            per_worker = self.worker_stats.get(worker_id)
+            if per_worker is not None:
+                per_worker["served"] += 1
+                if elapsed is not None and elapsed > 0.0:
+                    per_worker["elapsed"] += float(elapsed)
         entry = self._entry(task)
         if entry is not None and not entry.future.done():
             entry.future.set_result(payload.get("outcome"))
@@ -324,9 +535,9 @@ class ClusterBroker:
     def fail_pending(self, message: str) -> None:
         """Fail every unresolved future (the fabric is known dead).
 
-        Called by the executor's worker monitor when every spawned worker
-        process has exited without serving: blocking on the queue would
-        otherwise hang forever.  Later submissions fail fast too.
+        Called by the executor's autoscaler when every spawned worker
+        process has exited without making progress: blocking on the queue
+        would otherwise hang forever.  Later submissions fail fast too.
         """
 
         with self._lock:
@@ -341,11 +552,33 @@ class ClusterBroker:
         if entry is not None and not entry.future.done():
             entry.future.set_exception(ClusterTaskError(message))
 
-    def _requeue(self, task) -> None:
-        entry = self._entry(task)
-        if entry is None or entry.future.done() or self._stop.is_set():
+    def _requeue(self, task, worker_id: Optional[str] = None) -> None:
+        if self._stop.is_set():
             return
-        entry.requeues += 1
         with self._lock:
+            entry = self._entries.get(task)
+            if entry is None or entry.future.done():
+                return
+            entry.requeues += 1
+            entry.solo = True
+            if worker_id is not None:
+                entry.killed_by.append(worker_id)
             self.requeued_points += 1
-        self._queue.put(task)
+            exceeded = entry.requeues > self.max_requeues
+            killers = ", ".join(entry.killed_by) or "unknown"
+            requeues = entry.requeues
+        if exceeded:
+            # Poison point: every worker that claimed it died.  Failing
+            # the future (with the evidence) beats requeueing forever.
+            entry.future.set_exception(ClusterTaskError(
+                f"{describe_task(task)} exceeded the requeue bound: "
+                f"{requeues} worker connection(s) were lost while it was "
+                f"in flight (workers: {killers}; bound "
+                f"max_requeues={self.max_requeues}) — the point looks "
+                "poisonous and is failed instead of requeued again"
+            ))
+            return
+        # Requeued points dispatch solo: an innocent chunk-mate of a
+        # poison task must not ride along with it (and toward the requeue
+        # bound) a second time.
+        self._queue.put(task, cost=entry.cost, solo=True)

@@ -16,13 +16,19 @@ configuration; the broker writes every result through the shared
 persistent run cache as it arrives.
 
 Construction is what ``Session(backend="cluster", broker=..., workers=N)``
-(or ``REPRO_BACKEND=cluster``) resolves to; ``workers > 0`` additionally
-spawns that many co-located worker processes so a single-machine cluster
-sweep is one line of code.
+(or ``REPRO_BACKEND=cluster``) resolves to.  ``workers=N`` is an *elastic
+ceiling*, not a fixed fleet: one warm worker spawns eagerly, the
+autoscaler grows the fleet toward ``N`` while the broker's pending
+backlog exceeds the live worker count, and idle workers are reaped (down
+to one warm spare) once the queue drains.  The same loop is the fleet
+monitor: when every spawned worker has died without making progress and
+work is still pending, it fails the pending futures with the workers'
+drained stderr instead of hanging the sweep forever.
 """
 
 from __future__ import annotations
 
+import collections
 import dataclasses
 import sys
 import threading
@@ -34,14 +40,26 @@ from repro.analysis.executor import RunTask, SweepExecutor
 from repro.analysis.runcache import RunCache
 from repro.cluster.broker import ClusterBroker
 from repro.cluster.protocol import Address, parse_address
-from repro.cluster.worker import reap_workers, spawn_local_workers
+from repro.cluster.worker import (
+    reap_workers,
+    spawn_local_workers,
+    worker_stderr,
+)
+
+#: Seconds of empty queue before idle workers (beyond the warm spare) are
+#: released.
+IDLE_REAP_SECONDS = 5.0
+
+#: Autoscaler poll period.
+_POLL_SECONDS = 0.1
 
 
 class ClusterExecutor(SweepExecutor):
     """Dispatches sweep tasks to socket-connected workers via a broker."""
 
     def __init__(self, harness_config, broker: Optional[str] = None,
-                 workers: int = 0, cache: Optional[RunCache] = None) -> None:
+                 workers: int = 0, cache: Optional[RunCache] = None,
+                 idle_after: float = IDLE_REAP_SECONDS) -> None:
         # Workers run strictly serially on the local backend with their
         # disk cache off: persistence has one owner (the broker), and a
         # worker inheriting REPRO_BACKEND=cluster must never recurse into
@@ -57,19 +75,24 @@ class ClusterExecutor(SweepExecutor):
                                      cache=cache)
         self._broker.start()
         self._closing = False
-        self._processes = (
-            spawn_local_workers(self._broker.address, workers)
-            if workers > 0 else []
-        )
-        if self._processes:
-            # Spawned workers are this executor's responsibility: if every
-            # one of them dies without serving (bad interpreter, handshake
-            # rejection, OOM kill), blocking futures must fail with their
-            # stderr instead of hanging the sweep forever.
-            monitor = threading.Thread(target=self._watch_workers,
-                                       name="repro-cluster-monitor",
-                                       daemon=True)
-            monitor.start()
+        self._max_workers = max(0, workers)
+        self._keep_warm = min(1, self._max_workers)
+        self._idle_after = idle_after
+        self._proc_lock = threading.Lock()
+        self._processes: List = []
+        self._spawned_total = 0
+        self._worker_deaths = 0
+        self._deaths_at_progress = 0
+        self._dead_stderr = collections.deque(maxlen=8)
+        if self._max_workers > 0:
+            # One warm worker eagerly (a sweep submitted a millisecond
+            # from now should not wait a poll period); the rest of the
+            # fleet is the autoscaler's, grown against queue backlog.
+            self._spawn(1)
+            scaler = threading.Thread(target=self._autoscale_loop,
+                                      name="repro-cluster-autoscale",
+                                      daemon=True)
+            scaler.start()
         else:
             # No local fleet: the sweep blocks until workers attach, so
             # the operator must be able to see where to attach them.
@@ -104,27 +127,100 @@ class ClusterExecutor(SweepExecutor):
         futures = [self.submit(task) for task in tasks]
         return [future.result() for future in futures]
 
-    def _watch_workers(self) -> None:
+    # ------------------------------------------------------------------ #
+    # Elastic fleet
+    # ------------------------------------------------------------------ #
+    def _spawn(self, count: int) -> None:
+        if count <= 0:
+            return
+        spawned = spawn_local_workers(self._broker.address, count)
+        with self._proc_lock:
+            self._processes.extend(spawned)
+            self._spawned_total += count
+
+    def _prune_finished(self) -> int:
+        """Drop exited processes from the fleet; returns the live count.
+
+        Dead workers' drained stderr is kept (bounded) for the fleet-death
+        diagnostic; clean exits (idle reaps, shutdown) are just removed.
+        """
+
+        with self._proc_lock:
+            live = []
+            for proc in self._processes:
+                code = proc.poll()
+                if code is None:
+                    live.append(proc)
+                    continue
+                thread = getattr(proc, "_repro_stderr_thread", None)
+                if thread is not None:
+                    thread.join(timeout=0.2)
+                if code != 0:
+                    self._worker_deaths += 1
+                    text = worker_stderr(proc)
+                    self._dead_stderr.append(
+                        text or f"worker pid {proc.pid} exited with "
+                                f"code {code} and no stderr"
+                    )
+            self._processes = live
+            return len(live)
+
+    def _autoscale_loop(self) -> None:
+        idle_since: Optional[float] = None
+        last_results = -1
         while not self._closing:
-            time.sleep(0.2)
+            time.sleep(_POLL_SECONDS)
             if self._closing:
                 return
-            if any(proc.poll() is None for proc in self._processes):
-                continue  # at least one worker process is still alive
-            if self._broker.worker_count > 0:
-                continue  # an externally attached worker is serving
-            diagnostics = reap_workers(self._processes, timeout=1.0)
-            detail = "; ".join(text for text in diagnostics if text) \
-                or "no diagnostics on stderr"
-            self._broker.fail_pending(
-                f"all {len(self._processes)} spawned cluster workers "
-                f"exited without serving the sweep: {detail}"
-            )
-            return
+            broker = self._broker
+            live = self._prune_finished()
+            if broker.results_received != last_results:
+                # Any progress resets the death budget: a fleet that keeps
+                # completing points is merely unlucky, not dead.
+                last_results = broker.results_received
+                with self._proc_lock:
+                    self._deaths_at_progress = self._worker_deaths
+            pending = broker.pending_count()
+            if pending == 0:
+                # Idle: reap surplus workers down to the warm spare.
+                if live > self._keep_warm:
+                    if idle_since is None:
+                        idle_since = time.monotonic()
+                    elif time.monotonic() - idle_since >= self._idle_after:
+                        broker.release_idle(live - self._keep_warm)
+                        broker.note_autoscale()
+                        idle_since = None
+                else:
+                    idle_since = None
+                continue
+            idle_since = None
+            desired = min(self._max_workers, max(1, pending))
+            if live >= desired:
+                continue
+            with self._proc_lock:
+                unproductive = self._worker_deaths - self._deaths_at_progress
+            if (live == 0 and broker.worker_count == 0
+                    and unproductive > self._max_workers
+                    + broker.max_requeues):
+                # Every respawn in the budget died without a single
+                # result: the fabric is dead, blocking futures must fail
+                # with the workers' diagnostics instead of hanging.
+                with self._proc_lock:
+                    detail = "; ".join(text for text in self._dead_stderr
+                                       if text) or "no diagnostics on stderr"
+                    total = self._spawned_total
+                broker.fail_pending(
+                    f"all {total} spawned cluster workers exited without "
+                    f"serving the sweep: {detail}"
+                )
+                return
+            self._spawn(desired - live)
+            broker.note_autoscale()
 
     def close(self) -> None:
         self._closing = True
         self._broker.stop()
-        if self._processes:
-            reap_workers(self._processes)
-            self._processes = []
+        with self._proc_lock:
+            processes, self._processes = self._processes, []
+        if processes:
+            reap_workers(processes)

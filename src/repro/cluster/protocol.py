@@ -24,10 +24,17 @@ Message kinds::
     broker -> worker   config   {config: HarnessConfig, fingerprint, }
     worker -> broker   ready    {fingerprint}
     broker -> worker   reject   {reason}
-    broker -> worker   work     {task: RunTask, fingerprint}
-    worker -> broker   result   {task, outcome, entries: [(run_key, stats)]}
+    broker -> worker   work     {tasks: [RunTask, ...], fingerprint}
+    worker -> broker   result   {task, outcome, entries: [(run_key, stats)],
+                                 elapsed: seconds}
     worker -> broker   error    {task, message}
     broker -> worker   shutdown {}
+
+A ``work`` frame carries a *claim*: one expensive task, or several cheap
+ones chunked together (the broker's cost model decides — see
+:mod:`repro.cluster.costs`); the worker answers with one ``result`` or
+``error`` frame per task, in claim order, each stamped with the observed
+``elapsed`` seconds that feed the broker's online cost model.
 """
 
 from __future__ import annotations
@@ -42,7 +49,9 @@ from dataclasses import dataclass
 from typing import Optional, Tuple
 
 #: Bump on any incompatible change to the message schema.
-PROTOCOL_VERSION = 1
+#: v2: ``work`` carries a task list (chunked claims) and ``result`` is
+#: stamped with the worker's observed ``elapsed`` seconds.
+PROTOCOL_VERSION = 2
 
 #: Frame header: magic, CRC32 of the body, body length.
 _FRAME_MAGIC = b"RCLU"

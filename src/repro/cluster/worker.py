@@ -5,9 +5,13 @@ A worker connects to a broker, receives the spec's
 :class:`~repro.analysis.experiments.ExperimentRunner` from it (regenerating
 traces deterministically, or loading them from the broker's mmap'd columnar
 spool when one is reachable — see :mod:`repro.workloads.spool`), and then
-loops: receive a :class:`~repro.analysis.executor.RunTask`, execute it,
-send the outcome back together with the ``(run_key, RunStatistics)`` cache
-entries the broker writes through to the shared persistent run cache.
+loops: receive a ``work`` claim (one expensive
+:class:`~repro.analysis.executor.RunTask`, or several cheap ones chunked
+together by the broker's cost model), execute each task, and send one
+``result`` frame per task — the outcome, the ``(run_key, RunStatistics)``
+cache entries the broker writes through to the shared persistent run
+cache, and the observed ``elapsed`` seconds that refine the broker's
+online cost model.
 
 Fingerprint discipline: the worker echoes the fingerprint its runner
 actually computes back to the broker (``ready``) and re-checks the
@@ -26,6 +30,7 @@ from __future__ import annotations
 import os
 import subprocess
 import sys
+import threading
 import time
 from pathlib import Path
 from typing import List, Optional, Sequence
@@ -40,10 +45,26 @@ from repro.analysis.executor import (
 from repro.cluster import protocol
 from repro.cluster.protocol import Address, ConnectionClosed, ProtocolError
 
-#: Test hook: a worker that finds this variable set to N crashes hard
-#: (``os._exit``) upon receiving its N-th work frame, *before* computing or
-#: replying — the deterministic way to exercise the broker's requeue path.
+#: Test hook: a worker that finds this variable set to N >= 1 crashes hard
+#: (``os._exit``) upon starting its N-th claimed task, *before* computing
+#: or replying — the deterministic way to exercise the broker's requeue
+#: path.  ``0`` crashes at startup before ever connecting, which is how
+#: the dead-fleet path ("every spawned worker exited without serving") is
+#: exercised now that a crash *after* a claim counts against that task's
+#: requeue bound instead.
 CRASH_AFTER_ENV = "REPRO_CLUSTER_CRASH_AFTER"
+
+#: Test hook: a worker that finds this variable set crashes hard upon
+#: claiming a ``run`` task with that N_RH value — a deterministic *poison
+#: point* that kills every worker that claims it while every other point
+#: stays computable.  Exercises the broker's requeue bound.
+POISON_NRH_ENV = "REPRO_CLUSTER_POISON_NRH"
+
+#: Test hook: a worker that finds this variable set to N writes N bytes of
+#: diagnostics to stderr at startup.  With an un-drained stderr pipe this
+#: used to deadlock the worker (and the whole campaign) once the pipe
+#: buffer filled; ``spawn_local_workers`` drains continuously now.
+STDERR_FLOOD_ENV = "REPRO_CLUSTER_STDERR_FLOOD"
 
 
 def execute_claimed_task(runner, task: RunTask):
@@ -93,6 +114,37 @@ def _connect_with_retry(address: Address,
             time.sleep(0.2)
 
 
+def _apply_startup_hooks(crash_after: Optional[int]) -> None:
+    """Honour the startup-time test hooks (fleet death, stderr flood)."""
+
+    if crash_after is not None and crash_after <= 0:
+        print("worker crash hook: exiting at startup before serving",
+              file=sys.stderr, flush=True)
+        os._exit(17)
+    flood_raw = os.environ.get(STDERR_FLOOD_ENV, "").strip()
+    if flood_raw:
+        try:
+            flood = int(flood_raw)
+        except ValueError:
+            flood = 0
+        line = "worker diagnostic flood: " + "x" * 100 + "\n"
+        written = 0
+        while written < flood:
+            sys.stderr.write(line)
+            written += len(line)
+        sys.stderr.flush()
+
+
+def _poison_nrh() -> Optional[int]:
+    raw = os.environ.get(POISON_NRH_ENV, "").strip()
+    if not raw:
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        return None
+
+
 def worker_loop(address: Address,
                 spec_fingerprint: Optional[str] = None,
                 crash_after: Optional[int] = None) -> int:
@@ -105,6 +157,8 @@ def worker_loop(address: Address,
 
     from repro.analysis.experiments import ExperimentRunner
 
+    _apply_startup_hooks(crash_after)
+    poison_nrh = _poison_nrh()
     try:
         sock = _connect_with_retry(address)
     except OSError as exc:
@@ -141,25 +195,36 @@ def worker_loop(address: Address,
             if kind != protocol.WORK:
                 print(f"worker expected work, got {kind!r}", file=sys.stderr)
                 return 3
+            tasks: List[RunTask] = payload["tasks"]
             if payload.get("fingerprint") != runner.fingerprint:
-                protocol.send_message(
-                    sock, protocol.ERROR, task=payload.get("task"),
-                    message=(f"work addressed to {payload.get('fingerprint')}"
-                             f" but this worker serves {runner.fingerprint}"),
-                )
+                for task in tasks:
+                    protocol.send_message(
+                        sock, protocol.ERROR, task=task,
+                        message=(
+                            f"work addressed to {payload.get('fingerprint')}"
+                            f" but this worker serves {runner.fingerprint}"
+                        ),
+                    )
                 return 2
-            task: RunTask = payload["task"]
-            served += 1
-            if crash_after is not None and served >= crash_after:
-                os._exit(17)  # simulate sudden worker death mid-point
-            try:
-                outcome, entries = execute_claimed_task(runner, task)
-            except Exception as exc:  # noqa: BLE001 - reported to broker
-                protocol.send_message(sock, protocol.ERROR, task=task,
-                                      message=repr(exc))
-                continue
-            protocol.send_message(sock, protocol.RESULT, task=task,
-                                  outcome=outcome, entries=entries)
+            for task in tasks:
+                served += 1
+                if crash_after is not None and served >= crash_after:
+                    os._exit(17)  # simulate sudden worker death mid-point
+                if (poison_nrh is not None and task.kind == TASK_RUN
+                        and task.nrh == poison_nrh):
+                    os._exit(17)  # deterministic poison point
+                started = time.perf_counter()
+                try:
+                    outcome, entries = execute_claimed_task(runner, task)
+                except Exception as exc:  # noqa: BLE001 - sent to broker
+                    protocol.send_message(sock, protocol.ERROR, task=task,
+                                          message=repr(exc))
+                    continue
+                protocol.send_message(
+                    sock, protocol.RESULT, task=task, outcome=outcome,
+                    entries=entries,
+                    elapsed=time.perf_counter() - started,
+                )
     except (ProtocolError, OSError) as exc:
         # A dead broker (or a frame torn on the wire) ends this worker;
         # whatever it had in flight is the broker's to requeue.
@@ -191,6 +256,50 @@ def _worker_environment(extra_env: Optional[dict] = None) -> dict:
     return env
 
 
+def _start_stderr_drain(proc: subprocess.Popen) -> None:
+    """Continuously drain ``proc.stderr`` into an in-memory buffer.
+
+    A piped-but-unread stderr deadlocks the child once the OS pipe buffer
+    (~64KiB) fills — a chatty worker would block mid-``print`` and the
+    whole campaign would stall.  The drain thread keeps the pipe empty
+    while preserving every byte for ``reap_workers``' diagnostics.
+    """
+
+    if proc.stderr is None:
+        return
+    buffer = bytearray()
+
+    def pump(stream=proc.stderr, sink=buffer) -> None:
+        try:
+            while True:
+                chunk = stream.read(65536)
+                if not chunk:
+                    break
+                sink.extend(chunk)
+        except (OSError, ValueError):
+            pass
+        finally:
+            try:
+                stream.close()
+            except OSError:
+                pass
+
+    thread = threading.Thread(target=pump, name="repro-worker-stderr",
+                              daemon=True)
+    thread.start()
+    proc._repro_stderr_buffer = buffer       # type: ignore[attr-defined]
+    proc._repro_stderr_thread = thread       # type: ignore[attr-defined]
+
+
+def worker_stderr(proc: subprocess.Popen) -> str:
+    """The stderr a drained worker produced so far (decoded, stripped)."""
+
+    buffer = getattr(proc, "_repro_stderr_buffer", None)
+    if buffer is None:
+        return ""
+    return bytes(buffer).decode("utf-8", "replace").strip()
+
+
 def spawn_local_workers(address: Address, count: int,
                         spec_path: Optional[str] = None,
                         extra_env: Optional[dict] = None
@@ -200,8 +309,10 @@ def spawn_local_workers(address: Address, count: int,
     Each child is a fresh interpreter running
     ``python -m repro.cluster worker --connect <address>`` — the same entry
     point an operator uses on a remote host — so what the tests exercise is
-    byte-for-byte the production worker path.  stderr is piped so a failed
-    worker's diagnostics can be surfaced (see ``reap_workers``).
+    byte-for-byte the production worker path.  stderr is piped *and
+    continuously drained* (a flooding worker must not deadlock against its
+    own pipe) so a failed worker's diagnostics can be surfaced — see
+    ``reap_workers`` / ``worker_stderr``.
     """
 
     command = [sys.executable, "-m", "repro.cluster", "worker",
@@ -209,11 +320,14 @@ def spawn_local_workers(address: Address, count: int,
     if spec_path is not None:
         command += ["--spec", spec_path]
     env = _worker_environment(extra_env)
-    return [
+    processes = [
         subprocess.Popen(command, env=env, stdout=subprocess.DEVNULL,
                          stderr=subprocess.PIPE)
         for _ in range(count)
     ]
+    for proc in processes:
+        _start_stderr_drain(proc)
+    return processes
 
 
 def parse_or_format(address) -> str:
@@ -234,10 +348,22 @@ def reap_workers(processes: Sequence[subprocess.Popen],
             proc.wait(timeout=timeout)
         except subprocess.TimeoutExpired:
             proc.kill()
-        try:
-            _out, err = proc.communicate(timeout=5.0)
-        except (subprocess.TimeoutExpired, ValueError):
-            err = b""
+            try:
+                proc.wait(timeout=5.0)
+            except subprocess.TimeoutExpired:
+                pass
+        thread = getattr(proc, "_repro_stderr_thread", None)
+        if thread is not None:
+            thread.join(timeout=5.0)
+            err = worker_stderr(proc)
+        else:
+            # Foreign Popen without a drain thread: fall back to a
+            # one-shot read now that the process has exited.
+            try:
+                _out, raw = proc.communicate(timeout=5.0)
+            except (subprocess.TimeoutExpired, ValueError):
+                raw = b""
+            err = (raw or b"").decode("utf-8", "replace").strip()
         if err:
-            diagnostics.append(err.decode("utf-8", "replace").strip())
+            diagnostics.append(err)
     return diagnostics

@@ -34,7 +34,6 @@ from repro.cluster import (
     cluster_broker,
     parse_address,
     spawn_local_workers,
-    wait_for_workers,
 )
 from repro.cluster import protocol
 from repro.cluster.worker import CRASH_AFTER_ENV, reap_workers
@@ -169,20 +168,25 @@ class TestClusterSmoke:
         with Session(SPEC, backend="cluster", broker=f"unix:{broker_path}",
                      workers=2, cache_dir="") as session:
             assert session.backend == "cluster"
-            wait_for_workers(session, 2, timeout=TIMEOUT)
-            assert session.jobs == 2  # connected workers
+            # workers=2 is an elastic ceiling: one warm worker spawns
+            # eagerly and the autoscaler grows the fleet against the
+            # sweep's backlog — no pre-sweep worker barrier needed.
             figure = session.figure("fig6", nrh=64)
             broker = cluster_broker(session)
             assert broker.results_received > 0
             # The sweep really ran remotely: merged results counted here.
             assert session.runs_executed > 0
+            stats = session.cluster_stats()
+            assert stats["scheduling"] == "cost"
+            assert stats["scheduled_by_cost"] > 0
+            assert sum(per["served"] for per in stats["workers"].values()) \
+                == broker.results_received
         assert figure.as_dict() == reference.as_dict()
 
     def test_cold_then_warm_cache_bit_identical(self, reference, tmp_path):
         cache_dir = str(tmp_path / "cache")
         with Session(SPEC, backend="cluster", workers=2,
                      cache_dir=cache_dir) as cold:
-            wait_for_workers(cold, 2, timeout=TIMEOUT)
             cold_figure = cold.figure("fig6", nrh=64)
             assert cold.cache is not None and cold.cache.writes > 0
         assert cold_figure.as_dict() == reference.as_dict()
@@ -223,11 +227,14 @@ class TestWorkerDeath:
 class TestDeadFleet:
     def test_whole_fleet_dying_fails_futures_instead_of_hanging(
             self, monkeypatch):
-        # Every spawned worker inherits the crash hook: each dies on its
-        # first work frame, so the fleet annihilates itself and the
-        # monitor must fail the pending futures (with a reason), never
-        # hang the sweep.
-        monkeypatch.setenv(CRASH_AFTER_ENV, "1")
+        # Every spawned worker inherits the startup crash hook ("0"):
+        # each dies before ever connecting, so the fleet (including the
+        # autoscaler's respawn budget) annihilates itself without serving
+        # a single point and the monitor must fail the pending futures
+        # (with a reason), never hang the sweep.  A worker crashing
+        # *after* claiming work is the poison-point path instead — see
+        # tests/test_cluster_scheduling.py.
+        monkeypatch.setenv(CRASH_AFTER_ENV, "0")
         with Session(SPEC, backend="cluster", workers=1,
                      cache_dir="") as session:
             handle = session.submit("MMLA", "para", 64, False)
