@@ -1,0 +1,75 @@
+"""Cold-vs-warm figure requests through the experiment service.
+
+What the HTTP daemon (``repro.service``) buys: the *first* request for a
+figure pays the full sweep (plan → futures → aggregate), every later
+request inside the TTL window is a dict lookup in the in-memory figure
+cache.  This benchmark serves one figure through a real
+:class:`~repro.service.server.ThreadingHTTPServer` + stdlib client pair
+and times both regimes:
+
+* **cold** — one request on a freshly registered spec: seconds to first
+  figure (sweep execution dominates);
+* **warm** — a burst of requests against the now-hot TTL cache:
+  requests/second of pure serve path (HTTP + JSON + cache lookup), with
+  the server's run counter asserting that zero new sweep points executed.
+
+Both land in ``benchmarks/results/BENCH_sweep.json`` via
+``conftest.record_sweep`` (engine ``service-cold`` / ``service-warm``) so
+serve-path regressions are tracked numerically like engine regressions.
+
+Scale follows ``REPRO_BENCH_PROFILE`` (tiny figures regardless — the
+point is the serve path, not the sweep), concurrency is a single client;
+``tests/test_service.py`` covers the concurrent/coalescing behaviour.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.service import QuotaPolicy, ServiceClient, start_service
+
+from conftest import record_sweep, run_once
+
+_FIGURE = "fig8"
+_WARM_REQUESTS = 200
+
+
+@pytest.mark.service_smoke
+def test_service_cold_then_warm_throughput(benchmark):
+    def measure():
+        with start_service(cache_dir="", ttl=3600.0,
+                           policy=QuotaPolicy(rate=1.0, burst=3600.0)
+                           ) as running:
+            client = ServiceClient(running.address, client_id="bench")
+            fingerprint = client.register_spec({"profile": "tiny"})
+
+            started = time.perf_counter()
+            figure, state = client.figure_response(fingerprint, _FIGURE)
+            cold_seconds = time.perf_counter() - started
+            assert state == "miss" and figure["figure_id"] == _FIGURE
+            stats = running.service.statsz()
+            executed = stats["sessions"][fingerprint]["runs_executed"]
+            record_sweep(figure=f"service-{_FIGURE}", engine="service-cold",
+                         jobs="http1", seconds=cold_seconds, runs=executed)
+
+            started = time.perf_counter()
+            for _ in range(_WARM_REQUESTS):
+                _, state = client.figure_response(fingerprint, _FIGURE)
+                assert state == "hit"
+            warm_seconds = time.perf_counter() - started
+            stats = running.service.statsz()
+            # The whole warm burst executed zero new sweep points.
+            assert stats["sessions"][fingerprint]["runs_executed"] == executed
+            requests_per_second = _WARM_REQUESTS / warm_seconds
+            record_sweep(figure=f"service-{_FIGURE}", engine="service-warm",
+                         jobs="http1", seconds=warm_seconds,
+                         runs=0, requests=_WARM_REQUESTS,
+                         requests_per_second=round(requests_per_second, 1))
+            return cold_seconds, warm_seconds
+
+    cold_seconds, warm_seconds = run_once(benchmark, measure)
+    # The warm serve path must beat one cold sweep by a wide margin —
+    # per-request, TTL hits should be orders of magnitude cheaper.
+    assert warm_seconds / _WARM_REQUESTS < cold_seconds

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Experiment service: serve figures over HTTP from a long-lived daemon.
+
+Starts the ``repro.service`` server in-process on an ephemeral port,
+registers an :class:`~repro.api.ExperimentSpec` over the wire, follows an
+asynchronous figure job point-by-point, and then demonstrates the point
+of the daemon: the second request for the same figure is a TTL-cache hit
+served in microseconds, bit-identical to the computed one, with the
+server's run counter proving no new simulation happened.
+
+The same server runs standalone as ``python -m repro.service --listen
+HOST:PORT`` (quota and cache knobs are ``REPRO_SERVICE_*`` environment
+variables; see ROADMAP.md "Serving figures").
+
+Run with:  python examples/experiment_service.py
+(or, like every example:  python -m repro.api examples)
+
+Set ``REPRO_EXAMPLE_SCALE=tiny`` for a seconds-scale run (what the
+``examples_smoke`` pytest tier and ``python -m repro.api examples`` use).
+"""
+
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.service import ServiceClient, start_service
+
+TINY = os.environ.get("REPRO_EXAMPLE_SCALE", "") == "tiny"
+
+PROFILE = "tiny" if TINY else "smoke"
+FIGURE = "fig8"
+
+
+def main() -> None:
+    with start_service(cache_dir="", ttl=600.0) as running:
+        print(f"service listening on http://{running.address} "
+              f"(TTL {running.service.figure_cache.ttl:g}s)")
+        client = ServiceClient(running.address, client_id="example")
+
+        fingerprint = client.register_spec({"profile": PROFILE})
+        print(f"registered profile {PROFILE!r}: fingerprint {fingerprint}")
+
+        job = client.submit_figure(fingerprint, FIGURE)
+        print(f"submitted {FIGURE} as job {job['job']}")
+
+        def show(state) -> None:
+            progress = state["progress"]
+            print(f"  job {state['job']}: {state['state']:8s} "
+                  f"{progress['completed']}/{progress['total']} points")
+
+        done = client.wait_job(job["job"], on_progress=show, poll=0.2)
+        print(f"job finished: {done['progress']['executed']} points "
+              "actually simulated")
+
+        started = time.perf_counter()
+        figure, state = client.figure_response(fingerprint, FIGURE)
+        first_ms = 1e3 * (time.perf_counter() - started)
+        started = time.perf_counter()
+        again, state_again = client.figure_response(fingerprint, FIGURE)
+        second_ms = 1e3 * (time.perf_counter() - started)
+        print(f"\nGET {FIGURE}: {state} in {first_ms:.1f} ms, "
+              f"then {state_again} in {second_ms:.1f} ms "
+              f"(identical: {figure == again})")
+
+        mechanism = sorted(figure["series"])[0]
+        series = figure["series"][mechanism]
+        print(f"  {figure['figure_id']} {mechanism}: "
+              f"{[round(v, 3) for v in series]}")
+
+        stats = running.service.statsz()
+        cache = stats["figure_cache"]
+        session = stats["sessions"][fingerprint]
+        print(f"\nserver stats: {cache['hits']} cache hits / "
+              f"{cache['misses']} misses; "
+              f"{session['runs_executed']} sweep points executed; "
+              f"client served {stats['clients']['example']['served']} "
+              "responses")
+
+
+if __name__ == "__main__":
+    main()

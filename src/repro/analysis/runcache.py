@@ -209,8 +209,18 @@ class RunCache:
         return removed
 
     def stats(self) -> dict:
+        """Observable cache counters plus the on-disk entry count.
+
+        ``hits``/``misses``/``corrupt_entries`` are incremented on the
+        existing :meth:`get` path and ``writes``/``write_errors`` on
+        :meth:`put`; ``entries`` counts the files currently persisted in
+        this fingerprint's namespace.  Surfaced by ``Session.stats()`` and
+        the experiment service's ``GET /statsz``.
+        """
+
         return {
             "directory": str(self.directory),
+            "entries": len(self),
             "hits": self.hits,
             "misses": self.misses,
             "writes": self.writes,

@@ -33,6 +33,7 @@ from repro.api.spec import (
     RunPoint,
     SpecFile,
     load_spec,
+    spec_from_data,
 )
 
 __all__ = [
@@ -48,4 +49,5 @@ __all__ = [
     "load_spec",
     "resolve_engine",
     "resolve_execution",
+    "spec_from_data",
 ]

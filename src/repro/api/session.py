@@ -285,6 +285,31 @@ class Session:
     def runs_executed(self) -> int:
         return self._runner.runs_executed
 
+    def stats(self) -> Dict[str, object]:
+        """Uniform observability snapshot — works on **every** backend.
+
+        Unlike :meth:`cluster_stats` (which raises on local sessions),
+        this returns the same shape everywhere: the resolved execution
+        knobs, the executor run counter, and the persistent
+        :class:`RunCache` counters (``None`` when the cache is disabled).
+        Cluster sessions additionally nest the broker's scheduling and
+        elasticity counters under ``"cluster"``.  This is what the
+        experiment service serves from ``GET /statsz``.
+        """
+
+        data: Dict[str, object] = {
+            "backend": self.backend,
+            "engine": self.engine,
+            "jobs": self.jobs,
+            "fingerprint": self.fingerprint,
+            "runs_executed": self.runs_executed,
+            "cache": (self.cache.stats() if self.cache is not None
+                      else None),
+        }
+        if self.backend == "cluster":
+            data["cluster"] = self.cluster_stats()
+        return data
+
     def cluster_stats(self) -> Dict[str, object]:
         """Scheduling/elasticity counters of the cluster backend.
 

@@ -1,0 +1,46 @@
+"""repro.service — the always-on experiment server (ROADMAP open item 1).
+
+A long-lived daemon over the :class:`repro.api.Session` stack: clients
+``POST`` an :class:`~repro.api.ExperimentSpec`, stream job progress, and
+``GET`` aggregated figures; warm figures are served from a
+fingerprint-keyed in-memory TTL cache (:mod:`repro.service.cache`) in
+front of the persistent :class:`~repro.analysis.runcache.RunCache`, so a
+hot figure costs a dict lookup instead of a sweep.  The paper's own
+throttling idea guards the queue (:mod:`repro.service.quotas`): clients
+are scored in the cluster cost model's predicted seconds, heavy hitters
+get ``429 Retry-After``, and benign (cached) traffic keeps its
+throughput.
+
+Run one with ``python -m repro.service --listen HOST:PORT``; embed one
+with :func:`start_service`; talk to one with
+:class:`~repro.service.client.ServiceClient`.
+"""
+
+from repro.service.cache import TTLCache
+from repro.service.client import ServiceClient
+from repro.service.jobs import Job, JobRegistry
+from repro.service.quotas import Decision, QuotaManager, QuotaPolicy
+from repro.service.server import (
+    ApiError,
+    ExperimentService,
+    RunningService,
+    Throttled,
+    make_server,
+    start_service,
+)
+
+__all__ = [
+    "ApiError",
+    "Decision",
+    "ExperimentService",
+    "Job",
+    "JobRegistry",
+    "QuotaManager",
+    "QuotaPolicy",
+    "RunningService",
+    "ServiceClient",
+    "TTLCache",
+    "Throttled",
+    "make_server",
+    "start_service",
+]

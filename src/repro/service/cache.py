@@ -1,0 +1,132 @@
+"""Fingerprint-keyed in-memory TTL/LRU cache for aggregated figures.
+
+The experiment service sits in front of two cache layers: the persistent
+:class:`~repro.analysis.runcache.RunCache` memoises *grid points* (one
+simulation each), and this :class:`TTLCache` memoises whole *aggregated
+figure dictionaries* keyed by ``(spec fingerprint, figure id)``.  A warm
+figure request therefore never touches the sweep executor — not even to
+discover that every point is already cached — it is one dict lookup.
+
+Every result in this reproduction is a deterministic function of its
+spec, so entries can never be *wrong*, only stale in the "recompute cost"
+sense; the TTL exists to bound memory and to let operators cap how long a
+figure is pinned in RAM, not to protect correctness.  Eviction is LRU
+once ``max_entries`` is reached.
+
+Values are deep-copied on both ``put`` and ``get`` so callers can mutate
+what they receive (or what they stored) without corrupting the cached
+copy that later requests will be served.
+
+Thread-safe: the service's HTTP handler threads share one instance.
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+import time
+from collections import OrderedDict
+from typing import Callable, Dict, Hashable, Optional, Tuple
+
+#: Default entry lifetime (seconds); ``REPRO_SERVICE_TTL`` overrides.
+DEFAULT_TTL = 300.0
+
+#: Default capacity; ``REPRO_SERVICE_MAX_ENTRIES`` overrides.
+DEFAULT_MAX_ENTRIES = 256
+
+
+class TTLCache:
+    """A thread-safe TTL + LRU mapping with observable counters.
+
+    ``ttl`` is the entry lifetime in seconds, ``max_entries`` the LRU
+    capacity, ``clock`` a monotonic-seconds callable (injectable so tests
+    control expiry deterministically).
+    """
+
+    def __init__(self, ttl: float = DEFAULT_TTL,
+                 max_entries: int = DEFAULT_MAX_ENTRIES,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if not ttl > 0.0:
+            raise ValueError(f"ttl must be positive, got {ttl!r}")
+        if max_entries < 1:
+            raise ValueError(
+                f"max_entries must be at least 1, got {max_entries!r}"
+            )
+        self.ttl = float(ttl)
+        self.max_entries = int(max_entries)
+        self._clock = clock
+        self._entries: "OrderedDict[Hashable, Tuple[float, object]]" = \
+            OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.expirations = 0
+
+    # ------------------------------------------------------------------ #
+    def get(self, key: Hashable):
+        """The live cached value (a private copy), or ``None`` on a miss.
+
+        An expired entry counts as a miss *and* an expiration and is
+        dropped on access (there is no background sweeper thread —
+        capacity bounds are enforced by LRU eviction on ``put``).
+        """
+
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            expires, value = entry
+            if self._clock() >= expires:
+                del self._entries[key]
+                self.expirations += 1
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return copy.deepcopy(value)
+
+    def put(self, key: Hashable, value) -> None:
+        """Store ``value`` (a private copy) under ``key`` for one TTL."""
+
+        with self._lock:
+            self._entries[key] = (self._clock() + self.ttl,
+                                  copy.deepcopy(value))
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def invalidate(self, key: Hashable) -> bool:
+        """Drop one entry; ``True`` if it was present."""
+
+        with self._lock:
+            return self._entries.pop(key, None) is not None
+
+    def clear(self) -> int:
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            return dropped
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    # ------------------------------------------------------------------ #
+    def stats(self) -> Dict[str, object]:
+        """Counters plus the hit rate, as served by ``GET /statsz``."""
+
+        with self._lock:
+            lookups = self.hits + self.misses
+            return {
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+                "ttl_seconds": self.ttl,
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": (self.hits / lookups) if lookups else 0.0,
+                "evictions": self.evictions,
+                "expirations": self.expirations,
+            }

@@ -1,0 +1,160 @@
+"""A tiny stdlib HTTP client for the experiment service.
+
+Used by the tests, the benchmarks, and ``examples/experiment_service.py``
+— and small enough to crib for any other consumer::
+
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient("127.0.0.1:8080", client_id="alice")
+    fingerprint = client.register_spec({"profile": "tiny"})
+    job = client.submit_figure(fingerprint, "fig8")
+    job = client.wait_job(job["job"])
+    figure = client.figure(fingerprint, "fig8")   # the aggregated dict
+
+Every method raises :class:`ServiceError` on non-2xx responses;
+:class:`Throttled` (with ``retry_after`` seconds) is the 429 the quota
+layer returns to heavy hitters.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, Optional, Tuple
+
+from repro.service.server import CACHE_STATE_HEADER, CLIENT_ID_HEADER
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response from the service."""
+
+    def __init__(self, status: int, message: str,
+                 payload: Optional[Dict[str, object]] = None) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+        self.payload = payload or {}
+
+
+class Throttled(ServiceError):
+    """429 from the quota layer; honour ``retry_after`` before retrying."""
+
+    def __init__(self, status: int, message: str,
+                 payload: Optional[Dict[str, object]],
+                 retry_after: int) -> None:
+        super().__init__(status, message, payload)
+        self.retry_after = retry_after
+
+
+class ServiceClient:
+    """JSON-over-HTTP client bound to one service and one client identity.
+
+    ``address`` is ``HOST:PORT`` (or a full ``http://`` base URL);
+    ``client_id`` names this client to the quota layer (the
+    ``X-Client-Id`` header) — omit it to be accounted by remote address.
+    """
+
+    def __init__(self, address: str, client_id: Optional[str] = None,
+                 timeout: float = 120.0) -> None:
+        if "//" not in address:
+            address = f"http://{address}"
+        self.base_url = address.rstrip("/")
+        self.client_id = client_id
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------ #
+    def _request(self, method: str, path: str,
+                 body: Optional[Dict[str, object]] = None
+                 ) -> Tuple[Dict[str, object], Dict[str, str]]:
+        data = None
+        headers = {"Accept": "application/json"}
+        if self.client_id:
+            headers[CLIENT_ID_HEADER] = self.client_id
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(self.base_url + path, data=data,
+                                         headers=headers, method=method)
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                payload = json.loads(response.read().decode("utf-8"))
+                return payload, dict(response.headers)
+        except urllib.error.HTTPError as exc:
+            raw = exc.read()
+            try:
+                payload = json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, ValueError):
+                payload = {"error": raw.decode("utf-8", "replace")}
+            message = str(payload.get("error", exc.reason))
+            if exc.code == 429:
+                retry_after = int(exc.headers.get("Retry-After") or
+                                  payload.get("retry_after") or 1)
+                raise Throttled(exc.code, message, payload,
+                                retry_after) from None
+            raise ServiceError(exc.code, message, payload) from None
+
+    # ------------------------------------------------------------------ #
+    def healthz(self) -> Dict[str, object]:
+        return self._request("GET", "/healthz")[0]
+
+    def statsz(self) -> Dict[str, object]:
+        return self._request("GET", "/statsz")[0]
+
+    def register_spec(self, data: Dict[str, object]) -> str:
+        """Register spec-file-format data; returns the fingerprint."""
+
+        payload, _ = self._request("POST", "/v1/specs", body=data)
+        return str(payload["fingerprint"])
+
+    def submit_figure(self, fingerprint: str,
+                      figure_id: str) -> Dict[str, object]:
+        """Start an asynchronous figure job; returns the job dict."""
+
+        return self._request("POST", "/v1/figures", body={
+            "fingerprint": fingerprint,
+            "figure": figure_id,
+        })[0]
+
+    def job(self, job_id: str) -> Dict[str, object]:
+        return self._request("GET", f"/v1/jobs/{job_id}")[0]
+
+    def wait_job(self, job_id: str, timeout: float = 120.0,
+                 poll: float = 0.05,
+                 on_progress=None) -> Dict[str, object]:
+        """Poll a job until it is terminal; raises on failure/timeout.
+
+        ``on_progress(job_dict)`` observes every poll (progress bars).
+        """
+
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.job(job_id)
+            if on_progress is not None:
+                on_progress(job)
+            if job["state"] == "done":
+                return job
+            if job["state"] == "failed":
+                raise ServiceError(500,
+                                   f"job {job_id} failed: {job.get('error')}",
+                                   job)
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {job['state']!r} after {timeout}s"
+                )
+            time.sleep(poll)
+
+    def figure(self, fingerprint: str, figure_id: str) -> Dict[str, object]:
+        """The aggregated figure dict (computed on a cold server)."""
+
+        return self.figure_response(fingerprint, figure_id)[0]
+
+    def figure_response(self, fingerprint: str, figure_id: str
+                        ) -> Tuple[Dict[str, object], str]:
+        """The figure dict plus the server's cache verdict (hit/miss)."""
+
+        payload, headers = self._request(
+            "GET", f"/v1/figures/{fingerprint}/{figure_id}")
+        return payload, headers.get(CACHE_STATE_HEADER, "")

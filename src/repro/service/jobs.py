@@ -1,0 +1,158 @@
+"""Job registry: asynchronous figure computations with streamed progress.
+
+``POST /v1/figures`` creates a :class:`Job` and returns immediately; the
+figure's sweep plan then executes through the owning session's futures,
+and every completed grid handle bumps the job's ``completed`` counter —
+``GET /v1/jobs/<id>`` polls per-point progress while the sweep runs.
+
+States move ``pending`` → ``running`` → ``done`` | ``failed``.  A job
+whose figure was already warm in the TTL cache completes instantly with
+``cached=True`` and no points.  Terminal jobs are kept (bounded by
+``max_jobs``, oldest-terminal-first eviction) so clients can fetch the
+outcome after the fact.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import OrderedDict
+from typing import Dict, List, Optional
+
+JOB_PENDING = "pending"
+JOB_RUNNING = "running"
+JOB_DONE = "done"
+JOB_FAILED = "failed"
+
+JOB_STATES = (JOB_PENDING, JOB_RUNNING, JOB_DONE, JOB_FAILED)
+
+
+class Job:
+    """One asynchronous figure computation (fields guarded by ``_lock``)."""
+
+    def __init__(self, job_id: str, client: str, fingerprint: str,
+                 figure_id: str) -> None:
+        self.job_id = job_id
+        self.client = client
+        self.fingerprint = fingerprint
+        self.figure_id = figure_id
+        self.state = JOB_PENDING
+        self.cached = False
+        self.error: Optional[str] = None
+        self.total = 0
+        self.completed = 0
+        self.executed = 0
+        self.created = time.time()
+        self.started: Optional[float] = None
+        self.finished: Optional[float] = None
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    def start(self, total: int = 0) -> None:
+        with self._lock:
+            self.state = JOB_RUNNING
+            self.total = total
+            self.started = time.time()
+
+    def set_total(self, total: int) -> None:
+        with self._lock:
+            self.total = total
+
+    def bump(self) -> None:
+        """One more grid point of the job's sweep plan completed."""
+
+        with self._lock:
+            self.completed += 1
+
+    def finish(self, *, cached: bool = False, executed: int = 0) -> None:
+        with self._lock:
+            self.state = JOB_DONE
+            self.cached = cached
+            self.executed = executed
+            self.finished = time.time()
+
+    def fail(self, error: str) -> None:
+        with self._lock:
+            self.state = JOB_FAILED
+            self.error = error
+            self.finished = time.time()
+
+    @property
+    def terminal(self) -> bool:
+        with self._lock:
+            return self.state in (JOB_DONE, JOB_FAILED)
+
+    # ------------------------------------------------------------------ #
+    def as_dict(self) -> Dict[str, object]:
+        """The ``GET /v1/jobs/<id>`` payload."""
+
+        with self._lock:
+            data: Dict[str, object] = {
+                "job": self.job_id,
+                "client": self.client,
+                "fingerprint": self.fingerprint,
+                "figure": self.figure_id,
+                "state": self.state,
+                "cached": self.cached,
+                "progress": {
+                    "total": self.total,
+                    "completed": self.completed,
+                    "executed": self.executed,
+                },
+                "created": self.created,
+                "started": self.started,
+                "finished": self.finished,
+            }
+            if self.error is not None:
+                data["error"] = self.error
+            return data
+
+
+class JobRegistry:
+    """Bounded, thread-safe id → :class:`Job` table."""
+
+    def __init__(self, max_jobs: int = 1024) -> None:
+        if max_jobs < 1:
+            raise ValueError(f"max_jobs must be at least 1, got {max_jobs!r}")
+        self.max_jobs = max_jobs
+        self._jobs: "OrderedDict[str, Job]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+
+    def create(self, client: str, fingerprint: str, figure_id: str) -> Job:
+        with self._lock:
+            job = Job(f"j{next(self._ids)}", client, fingerprint, figure_id)
+            self._jobs[job.job_id] = job
+            self._prune()
+            return job
+
+    def _prune(self) -> None:
+        # Evict oldest *terminal* jobs first; live jobs are never dropped
+        # (the table can transiently exceed max_jobs under a burst of
+        # in-flight work, which the quota layer bounds per client).
+        if len(self._jobs) <= self.max_jobs:
+            return
+        for job_id in list(self._jobs):
+            if len(self._jobs) <= self.max_jobs:
+                break
+            if self._jobs[job_id].terminal:
+                del self._jobs[job_id]
+
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._jobs)
+
+    # ------------------------------------------------------------------ #
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            jobs: List[Job] = list(self._jobs.values())
+        by_state = {state: 0 for state in JOB_STATES}
+        for job in jobs:
+            with job._lock:
+                by_state[job.state] += 1
+        return {"total": len(jobs), "by_state": by_state}

@@ -1,0 +1,270 @@
+"""Per-client quotas: the paper's throttling idea applied to our own service.
+
+BreakHammer scores suspect *threads* by the preventive actions they
+trigger and throttles the heavy hitters' MSHR quotas so benign threads
+keep their throughput.  The experiment service faces the same shape of
+problem one layer up: a client hammering expensive cycle-engine sweeps
+must not starve a client fetching cheap (cached) smoke figures.  The
+analogue maps cleanly:
+
+==========================  =========================================
+BreakHammer                 ``QuotaManager``
+==========================  =========================================
+thread                      client (``X-Client-Id`` / remote address)
+preventive action triggers  predicted executor seconds it requests
+                            (:class:`repro.cluster.costs.CostModel`)
+MSHR quota shrink           token bucket + bounded in-flight job share
+throughput recovery window  bucket refill at ``rate`` seconds/second
+==========================  =========================================
+
+Admission is charged in **predicted compute seconds** (the cluster cost
+model's currency), never in request counts: one expensive cycle-engine
+figure weighs as much as hundreds of fast-engine smoke figures, exactly
+like one RFM preventive action weighs more than one row activation.
+Requests served from the TTL figure cache are not admitted here at all —
+a warm figure is a dict lookup and throttling it would punish exactly the
+benign traffic the mechanism exists to protect.
+
+A throttled client is told *when* to come back (``Retry-After``), and its
+unused charge is refunded when a sweep turns out to be warm in the
+persistent :class:`~repro.analysis.runcache.RunCache` — scoring follows
+work actually executed, the way BreakHammer scores actions actually
+triggered rather than suspected.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+#: ``REPRO_SERVICE_*`` environment knobs (documented in ROADMAP.md).
+RATE_ENV = "REPRO_SERVICE_RATE"
+BURST_ENV = "REPRO_SERVICE_BURST"
+MAX_OUTSTANDING_ENV = "REPRO_SERVICE_MAX_OUTSTANDING"
+
+#: Defaults: a client earns one predicted compute-second per wall-clock
+#: second, may burst half a minute of work, and may keep 4 jobs in flight.
+DEFAULT_RATE = 1.0
+DEFAULT_BURST = 30.0
+DEFAULT_MAX_OUTSTANDING = 4
+
+
+def _env_float(name: str, default: float) -> float:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        raise ValueError(f"{name} must be a number, got {raw!r}") from None
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        raise ValueError(f"{name} must be an integer, got {raw!r}") from None
+
+
+@dataclass(frozen=True)
+class QuotaPolicy:
+    """The three throttling knobs, validated at construction.
+
+    ``rate`` — predicted compute-seconds a client earns per wall-clock
+    second (the refill rate); ``burst`` — the token-bucket capacity, i.e.
+    how much work a client may demand at once (a single request costing
+    more than ``burst`` is clamped to ``burst`` so it stays admittable
+    from a full bucket — throttling slows heavy hitters, it never starves
+    them outright, matching the paper's mechanism); ``max_outstanding`` —
+    the bounded queue share: in-flight (admitted, unfinished) units of
+    work one client may hold.
+    """
+
+    rate: float = DEFAULT_RATE
+    burst: float = DEFAULT_BURST
+    max_outstanding: int = DEFAULT_MAX_OUTSTANDING
+
+    def __post_init__(self) -> None:
+        if not self.rate > 0.0:
+            raise ValueError(f"rate must be positive, got {self.rate!r}")
+        if not self.burst > 0.0:
+            raise ValueError(f"burst must be positive, got {self.burst!r}")
+        if self.max_outstanding < 1:
+            raise ValueError(
+                f"max_outstanding must be at least 1, "
+                f"got {self.max_outstanding!r}"
+            )
+
+    @classmethod
+    def from_env(cls, **overrides) -> "QuotaPolicy":
+        """A policy from ``REPRO_SERVICE_*`` variables, defaults beneath.
+
+        Explicit keyword overrides beat the environment (the same
+        precedence discipline as :func:`repro.api.resolve_execution`).
+        """
+
+        values = {
+            "rate": _env_float(RATE_ENV, DEFAULT_RATE),
+            "burst": _env_float(BURST_ENV, DEFAULT_BURST),
+            "max_outstanding": _env_int(MAX_OUTSTANDING_ENV,
+                                        DEFAULT_MAX_OUTSTANDING),
+        }
+        values.update(overrides)
+        return cls(**values)
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One admission verdict.
+
+    ``allowed`` admits the work (``charged`` predicted seconds were
+    deducted); otherwise ``retry_after`` is the whole number of seconds
+    after which the same request would fit the refilled bucket (the HTTP
+    ``Retry-After`` header) and ``reason`` says which bound tripped.
+    """
+
+    allowed: bool
+    charged: float = 0.0
+    retry_after: int = 0
+    reason: str = ""
+
+
+@dataclass
+class _Account:
+    """Mutable per-client state (guarded by the manager's lock)."""
+
+    tokens: float
+    refilled_at: float
+    outstanding: int = 0
+    served: int = 0
+    served_cached: int = 0
+    throttled: int = 0
+    charged_seconds: float = 0.0
+    refunded_seconds: float = 0.0
+
+
+class QuotaManager:
+    """Token scoring and throttling for every client of the service.
+
+    Thread-safe; ``clock`` is injectable (monotonic seconds) so tests
+    drive refill deterministically.
+    """
+
+    def __init__(self, policy: Optional[QuotaPolicy] = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.policy = policy if policy is not None else QuotaPolicy.from_env()
+        self._clock = clock
+        self._accounts: Dict[str, _Account] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    def _account(self, client: str) -> _Account:
+        account = self._accounts.get(client)
+        if account is None:
+            # New clients start with a full bucket — the first request is
+            # never throttled, exactly like a fresh BreakHammer window.
+            account = _Account(tokens=self.policy.burst,
+                               refilled_at=self._clock())
+            self._accounts[client] = account
+        return account
+
+    def _refill(self, account: _Account) -> None:
+        now = self._clock()
+        elapsed = max(0.0, now - account.refilled_at)
+        account.tokens = min(self.policy.burst,
+                             account.tokens + elapsed * self.policy.rate)
+        account.refilled_at = now
+
+    # ------------------------------------------------------------------ #
+    def admit(self, client: str, cost: float) -> Decision:
+        """Admit or throttle ``cost`` predicted seconds of work.
+
+        The charge is clamped to ``burst`` so a single request dearer
+        than the whole bucket is still admittable from a full one; the
+        clamp does not change *ordering* — a heavy hitter still drains
+        its bucket far faster than a light client.
+        """
+
+        policy = self.policy
+        charge = min(max(0.0, float(cost)), policy.burst)
+        with self._lock:
+            account = self._account(client)
+            self._refill(account)
+            if account.outstanding >= policy.max_outstanding:
+                account.throttled += 1
+                return Decision(
+                    allowed=False,
+                    retry_after=max(1, math.ceil(charge / policy.rate)),
+                    reason=(
+                        f"queue share exhausted: {account.outstanding} "
+                        f"jobs in flight (max {policy.max_outstanding})"
+                    ),
+                )
+            if account.tokens + 1e-9 < charge:
+                account.throttled += 1
+                deficit = charge - account.tokens
+                return Decision(
+                    allowed=False,
+                    retry_after=max(1, math.ceil(deficit / policy.rate)),
+                    reason=(
+                        f"cost quota exhausted: {charge:.3f}s predicted, "
+                        f"{account.tokens:.3f}s available "
+                        f"(refills at {policy.rate:g}s/s)"
+                    ),
+                )
+            account.tokens -= charge
+            account.outstanding += 1
+            account.charged_seconds += charge
+            return Decision(allowed=True, charged=charge)
+
+    def release(self, client: str, refund: float = 0.0) -> None:
+        """Settle one admitted unit of work.
+
+        ``refund`` returns the unexecuted share of the admission charge
+        (e.g. the sweep turned out warm in the persistent run cache):
+        scoring tracks work *actually executed*, the way BreakHammer
+        scores preventive actions actually triggered.
+        """
+
+        with self._lock:
+            account = self._account(client)
+            account.outstanding = max(0, account.outstanding - 1)
+            if refund > 0.0:
+                account.tokens = min(self.policy.burst,
+                                     account.tokens + refund)
+                account.refunded_seconds += refund
+
+    def note_served(self, client: str, cached: bool) -> None:
+        """Count one response actually delivered to ``client``."""
+
+        with self._lock:
+            account = self._account(client)
+            account.served += 1
+            if cached:
+                account.served_cached += 1
+
+    # ------------------------------------------------------------------ #
+    def stats(self) -> Dict[str, Dict[str, object]]:
+        """Per-client served/throttled counters (``GET /statsz``)."""
+
+        with self._lock:
+            snapshot: Dict[str, Dict[str, object]] = {}
+            for client, account in self._accounts.items():
+                self._refill(account)
+                snapshot[client] = {
+                    "served": account.served,
+                    "served_cached": account.served_cached,
+                    "throttled": account.throttled,
+                    "outstanding": account.outstanding,
+                    "tokens": round(account.tokens, 6),
+                    "charged_seconds": round(account.charged_seconds, 6),
+                    "refunded_seconds": round(account.refunded_seconds, 6),
+                }
+            return snapshot
