@@ -1,0 +1,60 @@
+"""Ingest throughput: external trace → catalog, cold and warm.
+
+Measures the full ingest path (streaming parse, validation, columnar
+write, characterization, manifest framing) in lines/second, then the
+warm-catalog path (same source re-ingested: digest check only, no
+parse/write).  Both wall-clocks land in ``BENCH_sweep.json`` so the
+driver can trend them; the warm path should be orders of magnitude
+cheaper than cold — it reads the source once to hash it and touches
+nothing else.
+
+Corpus size scales with ``REPRO_INGEST_LINES`` (default 50k lines —
+a few MB of text, seconds-scale cold).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+
+from repro.workloads.ingest import WorkloadCatalog
+
+from conftest import record_sweep, run_once
+
+LINES = int(os.environ.get("REPRO_INGEST_LINES", "50000"))
+
+
+def _write_corpus(path, lines: int) -> None:
+    rng = random.Random(2024)
+    with open(path, "w") as handle:
+        handle.write("# synthetic ingest benchmark corpus\n")
+        for _ in range(lines):
+            op = "S" if rng.random() < 0.3 else "L"
+            address = rng.randrange(0, 1 << 34) & ~0x3F
+            handle.write(f"{rng.randrange(0, 24)} {op} {address:#x}\n")
+
+
+def test_ingest_cold_then_warm(benchmark, tmp_path):
+    source = tmp_path / "corpus.trace"
+    _write_corpus(source, LINES)
+    catalog = WorkloadCatalog(tmp_path / "catalog")
+
+    start = time.perf_counter()
+    entry = run_once(benchmark, catalog.ingest, source, name="corpus")
+    cold_seconds = time.perf_counter() - start
+    assert entry.entries == LINES
+    assert catalog.verify("corpus") == []
+    record_sweep("ingest_cold", "n/a", 1, cold_seconds, 1,
+                 lines=LINES,
+                 lines_per_second=round(LINES / max(1e-9, cold_seconds)))
+
+    start = time.perf_counter()
+    warm = catalog.ingest(source, name="corpus")
+    warm_seconds = time.perf_counter() - start
+    assert warm == entry  # no-op re-ingest served from the manifest
+    record_sweep("ingest_warm", "n/a", 1, warm_seconds, 0,
+                 lines=LINES,
+                 lines_per_second=round(LINES / max(1e-9, warm_seconds)))
+    # Warm must never redo the columnar write/characterization.
+    assert warm_seconds < cold_seconds

@@ -109,6 +109,13 @@ class HarnessConfig:
     workers mmap instead of regenerating (see
     :mod:`repro.workloads.spool`).  None of these execution knobs affects
     simulation *results*, so all are excluded from the cache fingerprint.
+
+    ``workload_dir`` roots the ingested-workload catalog for ``ingest:``
+    mixes (``None`` defers to ``REPRO_WORKLOAD_DIR``).  The *directory*
+    is an execution knob and is normalised out like the others — but the
+    catalogued trace **digests** the mixes resolve to are result-affecting
+    and fold into :func:`harness_fingerprint`, so re-ingested content
+    lands in a fresh cache namespace wherever the catalog lives.
     """
 
     sim_cycles: int = 25_000
@@ -130,6 +137,7 @@ class HarnessConfig:
     broker: Optional[str] = None
     cluster_workers: int = 0
     spool_dir: Optional[str] = None
+    workload_dir: Optional[str] = None
 
     def simulation_config(self) -> SimulationConfig:
         """The per-run simulation bounds this harness profile implies."""
@@ -148,7 +156,7 @@ class HarnessConfig:
         return config_fingerprint(
             dataclasses.replace(self, jobs=0, cache_dir=None, backend=None,
                                 broker=None, cluster_workers=0,
-                                spool_dir=None)
+                                spool_dir=None, workload_dir=None)
         )
 
     @classmethod
@@ -190,7 +198,8 @@ class HarnessConfig:
                   backend: Optional[str] = None,
                   broker: Optional[str] = None,
                   cluster_workers: int = 0,
-                  spool_dir: Optional[str] = None) -> "HarnessConfig":
+                  spool_dir: Optional[str] = None,
+                  workload_dir: Optional[str] = None) -> "HarnessConfig":
         """The harness profile an :class:`repro.api.ExperimentSpec` implies.
 
         The spec must carry a resolved engine (sessions resolve it through
@@ -222,6 +231,7 @@ class HarnessConfig:
             broker=broker,
             cluster_workers=cluster_workers,
             spool_dir=spool_dir,
+            workload_dir=workload_dir,
         )
 
     def to_spec(self):
@@ -303,6 +313,35 @@ _DEPRECATION_MESSAGE = (
 )
 
 
+def catalog_digests(config: HarnessConfig) -> Tuple[Tuple[str, str], ...]:
+    """``(name, trace_digest)`` pairs of the ``ingest:`` mixes of ``config``.
+
+    Empty when no mix addresses the workload catalog.  Raises when mixes
+    do but no catalog is configured (``workload_dir`` /
+    ``REPRO_WORKLOAD_DIR``) — a runner must never fingerprint without the
+    content it will simulate.
+    """
+
+    from repro.workloads.ingest.catalog import (
+        WorkloadCatalog,
+        is_catalog_mix,
+        parse_catalog_mix,
+    )
+
+    names = [parse_catalog_mix(mix)[0]
+             for mix in (*config.attack_mixes, *config.benign_mixes)
+             if is_catalog_mix(mix)]
+    if not names:
+        return ()
+    catalog = WorkloadCatalog.resolve(config.workload_dir)
+    if catalog is None:
+        raise ValueError(
+            "config references ingested workloads but no catalog is "
+            "configured (workload_dir / REPRO_WORKLOAD_DIR)"
+        )
+    return catalog.digests(names)
+
+
 def harness_fingerprint(config: HarnessConfig) -> str:
     """The cache-namespace fingerprint a harness configuration implies.
 
@@ -311,6 +350,12 @@ def harness_fingerprint(config: HarnessConfig) -> str:
     exactly what :class:`ExperimentRunner` computes for its run cache, and
     what the :mod:`repro.cluster` broker stamps on every unit of work so a
     worker built from a different spec can never contribute a result.
+
+    When the config's mixes reference ingested workloads, the catalog
+    trace digests fold in too (:func:`catalog_digests`): a re-ingested
+    trace moves the namespace, so stale cache entries are unreachable,
+    and a cluster worker whose catalog holds different content computes a
+    different fingerprint and is refused by the broker.
     """
 
     base_system = SystemConfig.fast_profile(
@@ -318,6 +363,12 @@ def harness_fingerprint(config: HarnessConfig) -> str:
         threat_threshold=config.threat_threshold,
         outlier_threshold=config.outlier_threshold,
     )
+    digests = catalog_digests(config)
+    if digests:
+        return config_fingerprint(
+            config.result_fingerprint(), base_system,
+            config.simulation_config(), ("workload-catalog", digests),
+        )
     return config_fingerprint(
         config.result_fingerprint(), base_system,
         config.simulation_config(),
@@ -357,6 +408,12 @@ class ExperimentRunner:
             outlier_threshold=self.config.outlier_threshold,
         )
         self.fingerprint = harness_fingerprint(self.config)
+        # The catalog content this runner was fingerprinted against: the
+        # mix loader warns if an ingested workload is re-ingested behind
+        # a live session (see WorkloadCatalog / catalog_mix).
+        self._ingest_digests: Dict[str, str] = dict(
+            catalog_digests(self.config)
+        )
         self._disk_cache: Optional[RunCache] = RunCache.from_env(
             self.fingerprint, cache_dir=self.config.cache_dir
         )
@@ -417,6 +474,8 @@ class ExperimentRunner:
             # byte-identical either way.
             mix = self._spool_mix(name, seed)
             if mix is None:
+                mix = self._catalog_mix(name)
+            if mix is None:
                 mix = make_mix(
                     name,
                     device=self._base_system.device,
@@ -430,6 +489,31 @@ class ExperimentRunner:
                 )
             self._mix_cache[key] = mix
         return self._mix_cache[key]
+
+    def _catalog_mix(self, name: str) -> Optional[WorkloadMix]:
+        """Load an ``ingest:`` mix from the workload catalog.
+
+        Returns ``None`` for ordinary letter mixes.  The digest captured
+        at fingerprint time rides along, so content re-ingested behind a
+        live runner falls back to the current catalog bytes *with a
+        warning* instead of silently mixing trace versions in one cache
+        namespace.
+        """
+
+        from repro.workloads.ingest.catalog import (
+            catalog_mix,
+            is_catalog_mix,
+            parse_catalog_mix,
+        )
+
+        if not is_catalog_mix(name):
+            return None
+        workload_name = parse_catalog_mix(name)[0]
+        return catalog_mix(
+            name,
+            directory=self.config.workload_dir,
+            expected_digest=self._ingest_digests.get(workload_name),
+        )
 
     def _spool_mix(self, name: str, seed: int) -> Optional[WorkloadMix]:
         if not self.config.spool_dir:

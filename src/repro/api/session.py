@@ -171,12 +171,16 @@ class Session:
                  backend: Optional[str] = None,
                  broker: Optional[str] = None,
                  workers: Optional[int] = None,
-                 spool_dir: Optional[str] = None) -> None:
+                 spool_dir: Optional[str] = None,
+                 workload_dir: Optional[str] = None) -> None:
         spec = spec if spec is not None else ExperimentSpec()
         self.execution = resolve_execution(spec, jobs=jobs,
                                            cache_dir=cache_dir,
                                            engine=engine, backend=backend)
         self.spec = spec.resolved(self.execution.engine)
+        # Where ingested (``ingest:``) mixes load from; explicit argument
+        # beats REPRO_WORKLOAD_DIR (resolved by the workload catalog).
+        self._workload_dir = workload_dir
         self._spool_owned: Optional[str] = None
         resolved_spool = self._resolve_spool_dir(spool_dir)
         self._runner = ExperimentRunner(HarnessConfig.from_spec(
@@ -189,6 +193,7 @@ class Session:
             broker=broker,
             cluster_workers=workers or 0,
             spool_dir=resolved_spool,
+            workload_dir=workload_dir,
         ), _api_owned=True)
         self._closed = False
         if resolved_spool is not None:
@@ -217,7 +222,7 @@ class Session:
             return None
         if self.execution.cache_dir:
             return str(Path(self.execution.cache_dir).expanduser()
-                       / f"spool-{self.spec.fingerprint()}")
+                       / f"spool-{self.spec.fingerprint(self._workload_dir)}")
         self._spool_owned = tempfile.mkdtemp(prefix="repro-spool-")
         return self._spool_owned
 

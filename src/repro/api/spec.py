@@ -31,10 +31,17 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.mitigations.registry import PAIRED_MECHANISMS
 from repro.sim.config import SIMULATION_ENGINES
-from repro.workloads.mixes import ATTACK_MIXES, BENIGN_MIXES
+from repro.workloads.mixes import (
+    ATTACK_MIXES,
+    ATTACKER_LETTERS,
+    BENIGN_MIXES,
+    MIX_LETTER_SET,
+)
 
-#: Workload letters :func:`repro.workloads.mixes.make_mix` understands.
-MIX_LETTERS = frozenset("HMLAD")
+#: Workload letters :func:`repro.workloads.mixes.make_mix` understands
+#: (``A``/``S``/``X`` are the double-sided, many-sided, and half-double
+#: attacker geometries).
+MIX_LETTERS = MIX_LETTER_SET
 
 #: Cores of the harness machine — every harness mix names one per core.
 HARNESS_CORES = 4
@@ -119,23 +126,76 @@ class ExperimentSpec:
         if not self.attack_mixes and not self.benign_mixes:
             raise ValueError("need at least one workload mix")
         for mix in (*self.attack_mixes, *self.benign_mixes):
-            bad = set(mix.upper()) - MIX_LETTERS
-            if bad:
-                raise ValueError(
-                    f"mix {mix!r} uses unknown workload letters {sorted(bad)}"
-                )
-            if len(mix) != HARNESS_CORES:
-                raise ValueError(
-                    f"mix {mix!r} must name {HARNESS_CORES} cores "
-                    "(one letter per core of the harness machine)"
-                )
+            self._validate_mix(mix)
         for mix in self.attack_mixes:
-            if "A" not in mix.upper():
-                raise ValueError(f"attack mix {mix!r} has no attacker core")
+            # Catalog mixes carry no attacker core by construction (the
+            # prefix would otherwise alias the S/X letters).
+            if (mix.startswith("ingest:")
+                    or not set(mix.upper()) & set(ATTACKER_LETTERS)):
+                raise ValueError(
+                    f"attack mix {mix!r} has no attacker core (need one "
+                    f"of {sorted(ATTACKER_LETTERS)}; ingested workloads "
+                    "are benign and belong in benign_mixes)"
+                )
         if not 0.0 < self.outlier_threshold <= 1.0:
             raise ValueError("outlier_threshold must be in (0, 1]")
         if self.threat_threshold <= 0:
             raise ValueError("threat_threshold must be positive")
+
+    @staticmethod
+    def _validate_mix(mix: str) -> None:
+        """One mix string: known letters, or a resolvable catalog name.
+
+        Both failure modes raise here, at construction, with the full
+        menu — the available letters *and* the ingested workload names —
+        instead of surfacing deep inside trace generation mid-sweep.
+        """
+
+        from repro.workloads.ingest.catalog import (
+            WORKLOAD_DIR_ENV,
+            WorkloadCatalog,
+            is_catalog_mix,
+            parse_catalog_mix,
+        )
+
+        catalog = WorkloadCatalog.resolve()
+        if is_catalog_mix(mix):
+            name, cores = parse_catalog_mix(mix)  # raises on bad grammar
+            if catalog is None:
+                raise ValueError(
+                    f"mix {mix!r} needs a workload catalog, but none is "
+                    f"configured: set {WORKLOAD_DIR_ENV} (or pass "
+                    "Session(workload_dir=...)) and ingest with "
+                    "'python -m repro.api workloads ingest'"
+                )
+            available = catalog.names()
+            if name not in available:
+                raise ValueError(
+                    f"mix {mix!r}: no ingested workload {name!r} in "
+                    f"{catalog.directory} (ingested workloads: "
+                    f"{', '.join(available) if available else 'none'})"
+                )
+            if cores != HARNESS_CORES:
+                raise ValueError(
+                    f"mix {mix!r} must name {HARNESS_CORES} cores "
+                    f"(write 'ingest:{name} x{HARNESS_CORES}')"
+                )
+            return
+        bad = set(mix.upper()) - MIX_LETTERS
+        if bad:
+            names = catalog.names() if catalog is not None else []
+            raise ValueError(
+                f"mix {mix!r} uses unknown workload letters {sorted(bad)}; "
+                f"available letters: {', '.join(sorted(MIX_LETTERS))}; "
+                f"ingested workloads: "
+                f"{', '.join(names) if names else 'none'} "
+                "(address them as 'ingest:<name> x4')"
+            )
+        if len(mix) != HARNESS_CORES:
+            raise ValueError(
+                f"mix {mix!r} must name {HARNESS_CORES} cores "
+                "(one letter per core of the harness machine)"
+            )
 
     # ------------------------------------------------------------------ #
     # Profiles (the spec-level equivalents of HarnessConfig's).
@@ -217,18 +277,53 @@ class ExperimentSpec:
             return self
         return dataclasses.replace(self, engine=engine)
 
-    def fingerprint(self) -> str:
+    def fingerprint(self, workload_dir: Optional[str] = None) -> str:
         """Digest of every result-affecting field (RunCache keys fall out).
 
         Unpinned engines digest as the default ``"fast"`` so that a spec
         resolved explicitly to the default and an unpinned spec share one
         cache namespace (they compute identical results).
+
+        When the spec references ingested workloads (``ingest:`` mixes),
+        the catalog **trace digests** fold in too — the mix string names
+        the workload, but its *content* is whatever was last ingested, so
+        re-ingesting a trace moves every referencing spec to a fresh
+        fingerprint and stale cache entries can never be served.
+        ``workload_dir`` overrides ``REPRO_WORKLOAD_DIR`` for the lookup
+        (sessions pass their own).
         """
 
         from repro.sim.config import config_fingerprint
 
         resolved = self if self.engine is not None else self.resolved("fast")
+        digests = self.catalog_digests(workload_dir)
+        if digests:
+            return config_fingerprint(resolved,
+                                      ("workload-catalog", digests))
         return config_fingerprint(resolved)
+
+    def catalog_digests(self, workload_dir: Optional[str] = None
+                        ) -> Tuple[Tuple[str, str], ...]:
+        """Sorted ``(name, trace_digest)`` pairs of referenced workloads."""
+
+        from repro.workloads.ingest.catalog import (
+            WorkloadCatalog,
+            is_catalog_mix,
+            parse_catalog_mix,
+        )
+
+        names = [parse_catalog_mix(mix)[0]
+                 for mix in (*self.attack_mixes, *self.benign_mixes)
+                 if is_catalog_mix(mix)]
+        if not names:
+            return ()
+        catalog = WorkloadCatalog.resolve(workload_dir)
+        if catalog is None:
+            raise ValueError(
+                "spec references ingested workloads but no catalog is "
+                "configured (REPRO_WORKLOAD_DIR / workload_dir)"
+            )
+        return catalog.digests(names)
 
     def grid(self, mixes: Optional[Sequence[str]] = None,
              breakhammer_values: Sequence[bool] = (False, True),

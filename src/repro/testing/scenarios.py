@@ -27,12 +27,18 @@ from repro.dram.config import DeviceConfig
 from repro.mitigations.registry import PAIRED_MECHANISMS
 from repro.sim.config import SimulationConfig, SystemConfig
 from repro.workloads.attacker import AttackerConfig
-from repro.workloads.mixes import WorkloadMix, make_mix
+from repro.workloads.mixes import ATTACKER_LETTERS, WorkloadMix, make_mix
 
 #: Every mechanism the fuzzer rotates through (registry order: the paper's
 #: eight BreakHammer-paired mechanisms, the no-mitigation baseline, and
 #: BlockHammer).
 FUZZ_MECHANISMS: Tuple[str, ...] = (*PAIRED_MECHANISMS, "none", "blockhammer")
+
+#: Attacker letters the sampler rotates through by scenario index (like
+#: mechanisms and ``check_engines`` — never an RNG draw, so adding
+#: geometries cannot perturb how other dimensions sample): ``A`` is the
+#: paper's double-sided attacker, ``S`` many-sided, ``X`` half-double.
+ATTACK_LETTER_ROTATION: Tuple[str, ...] = tuple(ATTACKER_LETTERS)
 
 #: Seed of the fixed pytest corpora (``-m fuzz_smoke``); never change it
 #: without re-validating the corpus, it defines which scenarios CI pins.
@@ -194,18 +200,25 @@ def _sample_mitigation_kwargs(rng: random.Random, mechanism: str
     return tuple(sorted(chosen))
 
 
-def _sample_mix(rng: random.Random, max_cores: int) -> str:
-    """A mix string over {H, M, L, A, D} with 1..max_cores cores."""
+def _sample_mix(rng: random.Random, max_cores: int,
+                attack_letter: str = "A") -> str:
+    """A mix string over the workload alphabet with 1..max_cores cores.
+
+    ``attack_letter`` selects which hammering geometry an attacker core
+    (if placed) uses; the caller rotates it by scenario index so the RNG
+    stream is identical whichever letter lands.
+    """
 
     length = rng.randint(1, max_cores)
     letters = [rng.choice("HML") for _ in range(length)]
     if rng.random() < 0.55:
-        letters[rng.randrange(length)] = "A"
+        letters[rng.randrange(length)] = attack_letter
         # Occasionally saturate with a second attacker (back-off storms).
         if length > 1 and rng.random() < 0.2:
-            letters[rng.randrange(length)] = "A"
+            letters[rng.randrange(length)] = attack_letter
     if rng.random() < 0.3:
-        slots = [i for i, letter in enumerate(letters) if letter != "A"]
+        slots = [i for i, letter in enumerate(letters)
+                 if letter not in ATTACKER_LETTERS]
         if slots:
             letters[rng.choice(slots)] = "D"
     return "".join(letters)
@@ -234,7 +247,11 @@ def _sample_scenario(rng: random.Random, index: int,
     seed = rng.randrange(profile.trace_seeds)
     return Scenario(
         seed=seed,
-        mix=_sample_mix(rng, profile.max_cores),
+        # Attack-pattern rotation by index (like mechanisms): scenario i
+        # places the double-sided / many-sided / half-double attacker.
+        mix=_sample_mix(rng, profile.max_cores,
+                        ATTACK_LETTER_ROTATION[
+                            index % len(ATTACK_LETTER_ROTATION)]),
         mechanism=mechanism,
         nrh=rng.choice(profile.nrh_choices),
         breakhammer=rng.random() < 0.5,

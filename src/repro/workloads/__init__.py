@@ -12,10 +12,16 @@ locality, and per-row activation pressure.  See DESIGN.md §2 for the
 substitution rationale.
 
 * :mod:`repro.workloads.synthetic` — benign trace generators,
-* :mod:`repro.workloads.attacker` — RowHammer/memory-performance attacker,
+* :mod:`repro.workloads.attacker` — RowHammer/memory-performance attacker
+  (double-sided, many-sided, and half-double hammering geometries),
 * :mod:`repro.workloads.dma` — DMA-style cache-bypassing streams (§4.4),
 * :mod:`repro.workloads.mixes` — the paper's workload mixes (HHHH … LLLA),
-* :mod:`repro.workloads.characteristics` — Table 3 characterisation.
+* :mod:`repro.workloads.characteristics` — Table 3 characterisation,
+* :mod:`repro.workloads.ingest` — real-trace ingestion: external trace
+  files imported into a spec-addressable :class:`WorkloadCatalog`
+  (``"ingest:<name> x<cores>"`` mixes, ``REPRO_WORKLOAD_DIR``); imported
+  lazily so the generator modules stay dependency-light,
+* :mod:`repro.workloads.spool` — columnar mmap trace spool for workers.
 """
 
 from repro.workloads.attacker import AttackerConfig, generate_attacker_trace

@@ -33,6 +33,16 @@ from repro.cpu.trace import FLAG_BYPASS, Trace
 from repro.dram.address import AddressMapper, MappingScheme
 from repro.dram.config import DeviceConfig
 
+#: Registered hammering geometries.  ``double_sided`` is the paper's
+#: attacker (two aggressors per bank, alternating).  ``many_sided``
+#: spreads activations over many tightly spaced aggressors per bank (the
+#: TRR-evasion pattern: each row stays under a sampler's radar while the
+#: bank's total preventive-action pressure grows).  ``half_double``
+#: hammers distance-2 "far" aggressors heavily and recruits the
+#: distance-1 "near" rows with occasional accesses, the trace-level model
+#: of the Half-Double access pattern.
+ATTACK_PATTERNS = ("double_sided", "many_sided", "half_double")
+
 
 @dataclass(frozen=True)
 class AttackerConfig:
@@ -58,12 +68,23 @@ class AttackerConfig:
     base_row: int = 64
     row_stride: int = 4
     seed: int = 0
+    #: Hammering geometry (see :data:`ATTACK_PATTERNS`).
+    pattern: str = "double_sided"
+    #: Aggressors per bank for the ``many_sided`` pattern.
+    many_sides: int = 8
 
     def __post_init__(self) -> None:
         if self.banks_used <= 0 or self.rows_per_bank <= 0:
             raise ValueError("attacker needs at least one bank and one row")
         if self.columns_per_row <= 0:
             raise ValueError("columns_per_row must be positive")
+        if self.pattern not in ATTACK_PATTERNS:
+            raise ValueError(
+                f"unknown attack pattern {self.pattern!r}; "
+                f"one of {ATTACK_PATTERNS}"
+            )
+        if self.many_sides < 2:
+            raise ValueError("many_sided needs at least two aggressors")
 
 
 def _bank_coordinates(device: DeviceConfig, banks_used: int) -> List[tuple]:
@@ -81,6 +102,35 @@ def _bank_coordinates(device: DeviceConfig, banks_used: int) -> List[tuple]:
     return [coordinates[i * step] for i in range(banks_used)]
 
 
+def _pattern_row_sequence(config: AttackerConfig,
+                          device: DeviceConfig) -> List[int]:
+    """The per-bank aggressor row *visit sequence* of ``config.pattern``.
+
+    The sequence may repeat rows: repeats encode hammer weighting (the
+    half-double far rows are visited twice per near-row visit).
+    Consecutive entries always differ, so every visit within a bank is a
+    row-buffer conflict and therefore an activation.
+    """
+
+    rows_per_bank = device.rows_per_bank
+    base = config.base_row
+    if config.pattern == "many_sided":
+        # Tightly packed aggressors (stride 2 leaves one victim row
+        # between neighbours); each row gets 1/many_sides of the bank's
+        # activations, staying under per-row samplers.
+        return [(base + r * 2) % rows_per_bank
+                for r in range(config.many_sides)]
+    if config.pattern == "half_double":
+        # Victims sit at base+2 and base+3; the far aggressors (distance
+        # 2: base, base+5) are hammered twice per visit to each near row
+        # (distance 1: base+1, base+4).
+        far = [base % rows_per_bank, (base + 5) % rows_per_bank]
+        near = [(base + 1) % rows_per_bank, (base + 4) % rows_per_bank]
+        return [far[0], far[1], far[0], far[1], near[0], near[1]]
+    return [(base + r * config.row_stride) % rows_per_bank
+            for r in range(config.rows_per_bank)]
+
+
 def generate_attacker_trace(device: Optional[DeviceConfig] = None,
                             config: Optional[AttackerConfig] = None,
                             mapping: MappingScheme = MappingScheme.MOP,
@@ -93,11 +143,12 @@ def generate_attacker_trace(device: Optional[DeviceConfig] = None,
     rng = random.Random(config.seed)
 
     banks = _bank_coordinates(device, config.banks_used)
-    # Build the aggressor set: rows_per_bank rows in each selected bank.
+    # Build the aggressor visit sequence: the pattern's per-bank row
+    # sequence in each selected bank (repeats encode hammer weighting).
+    row_sequence = _pattern_row_sequence(config, device)
     aggressors: List[tuple] = []
     for rank, bank_group, bank in banks:
-        for r in range(config.rows_per_bank):
-            row = (config.base_row + r * config.row_stride) % device.rows_per_bank
+        for row in row_sequence:
             aggressors.append((rank, bank_group, bank, row))
 
     columns_available = device.cachelines_per_row
@@ -137,13 +188,14 @@ def aggressor_rows(device: DeviceConfig, config: AttackerConfig) -> List[tuple]:
     """The (rank, bank_group, bank, row) tuples the attacker hammers.
 
     Exposed so tests can verify that the generated trace really activates
-    the intended rows.
+    the intended rows.  Weighting repeats in the visit sequence are
+    deduplicated: this is the aggressor *set*.
     """
 
     banks = _bank_coordinates(device, config.banks_used)
+    row_sequence = list(dict.fromkeys(_pattern_row_sequence(config, device)))
     rows = []
     for rank, bank_group, bank in banks:
-        for r in range(config.rows_per_bank):
-            row = (config.base_row + r * config.row_stride) % device.rows_per_bank
+        for row in row_sequence:
             rows.append((rank, bank_group, bank, row))
     return rows

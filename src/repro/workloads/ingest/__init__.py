@@ -1,0 +1,56 @@
+"""Real-trace ingestion: external trace files -> catalogued workloads.
+
+The pipeline has two halves (see ROADMAP "Ingesting workloads"):
+
+* :mod:`repro.workloads.ingest.readers` — streaming, gzip-transparent
+  parsers for the documented text and CSV trace formats, validating row
+  by row with line-numbered :class:`IngestError` rejections and building
+  the same ``array``-backed columns the synthetic generators emit;
+* :mod:`repro.workloads.ingest.catalog` — the :class:`WorkloadCatalog`
+  directory (``REPRO_WORKLOAD_DIR`` / ``Session(workload_dir=...)``)
+  where ingested traces live as columnar files with CRC-framed JSON
+  manifests, addressable from :class:`repro.api.ExperimentSpec` mixes as
+  ``"ingest:<name> x<cores>"`` strings whose trace digests fold into the
+  spec/harness fingerprints.
+
+Operators drive it through ``python -m repro.api workloads
+{ingest|list|verify|drop}``.
+"""
+
+from repro.workloads.ingest.catalog import (
+    CATALOG_VERSION,
+    CatalogEntry,
+    CatalogError,
+    WORKLOAD_DIR_ENV,
+    WorkloadCatalog,
+    catalog_mix,
+    is_catalog_mix,
+    parse_catalog_mix,
+)
+from repro.workloads.ingest.readers import (
+    INGEST_FORMATS,
+    IngestError,
+    detect_format,
+    open_stream,
+    parse_csv,
+    parse_text,
+    read_trace,
+)
+
+__all__ = [
+    "CATALOG_VERSION",
+    "CatalogEntry",
+    "CatalogError",
+    "INGEST_FORMATS",
+    "IngestError",
+    "WORKLOAD_DIR_ENV",
+    "WorkloadCatalog",
+    "catalog_mix",
+    "detect_format",
+    "is_catalog_mix",
+    "open_stream",
+    "parse_catalog_mix",
+    "parse_csv",
+    "parse_text",
+    "read_trace",
+]

@@ -1,0 +1,229 @@
+"""Format readers: external trace files -> columnar :class:`Trace`.
+
+Two documented on-disk formats import real application memory traces into
+the reproduction (ROADMAP "Ingesting workloads"):
+
+``text``
+    One access per line, whitespace-separated::
+
+        <bubble> <L|S> <addr> [flags]
+
+    ``bubble`` is the number of non-memory instructions preceding the
+    access (non-negative decimal), ``L``/``S`` selects load or store,
+    ``addr`` is the physical byte address (decimal or ``0x`` hex), and the
+    optional ``flags`` token is a string of single-letter modifiers —
+    currently ``B`` (the access bypasses the cache hierarchy, the
+    trace-level model of non-temporal/DMA traffic) and ``-`` (explicit
+    "no flags" placeholder).  Blank lines and ``#`` comments are skipped.
+
+``csv``
+    The same four fields as comma-separated ``bubble,op,addr[,flags]``
+    rows; an optional header row whose first cell is ``bubble`` is
+    recognised and skipped, as are blank lines and ``#`` comment lines.
+
+Both formats decode gzip-compressed files transparently (detected by the
+two magic bytes, not the file name), stream line by line (a multi-gigabyte
+trace never materialises as text), validate row by row — every rejection
+is an :class:`IngestError` carrying the offending **line number** — and
+append straight into the ``array``-backed columns the synthetic generators
+build (:mod:`repro.workloads.synthetic`), so an ingested trace is
+column-for-column the same object a generated one is.
+"""
+
+from __future__ import annotations
+
+import csv
+import gzip
+import io
+from array import array
+from pathlib import Path
+from typing import Iterable, Iterator, Optional, Tuple
+
+from repro.cpu.trace import FLAG_BYPASS, FLAG_WRITE, Trace
+
+#: The format names :func:`read_trace` (and the CLI ``--format``) accept.
+INGEST_FORMATS: Tuple[str, ...] = ("text", "csv")
+
+#: Addresses must leave headroom for per-core region offsets (the mix
+#: builder shifts each core into its own region of physical memory), so
+#: the importable address space is capped well below 2**64.
+MAX_ADDRESS = 2 ** 48 - 1
+
+#: Bubbles are stored in a signed 64-bit column; anything near the bound
+#: is a parse artefact, not a plausible instruction count.
+MAX_BUBBLE = 2 ** 31 - 1
+
+_OPCODES = {"L": 0, "S": FLAG_WRITE}
+_FLAG_LETTERS = {"B": FLAG_BYPASS}
+
+
+class IngestError(ValueError):
+    """A rejected input row; ``line`` is the 1-based source line number."""
+
+    def __init__(self, source: str, line: int, message: str) -> None:
+        super().__init__(f"{source}, line {line}: {message}")
+        self.source = source
+        self.line = line
+
+
+def detect_format(path: Path | str) -> str:
+    """The format a file name implies: ``.csv`` / ``.csv.gz`` else text."""
+
+    suffixes = [s.lower() for s in Path(path).suffixes]
+    if suffixes and suffixes[-1] == ".gz":
+        suffixes = suffixes[:-1]
+    return "csv" if suffixes and suffixes[-1] == ".csv" else "text"
+
+
+def open_stream(path: Path | str) -> io.TextIOBase:
+    """Open ``path`` as a text line stream, decoding gzip transparently.
+
+    Compression is detected from the two gzip magic bytes so ``.gz``-less
+    compressed files (and renamed ones) still decode; decoding is
+    streaming in both cases.
+    """
+
+    path = Path(path)
+    raw = path.open("rb")
+    try:
+        magic = raw.read(2)
+        raw.seek(0)
+        if magic == b"\x1f\x8b":
+            return io.TextIOWrapper(gzip.GzipFile(fileobj=raw),
+                                    encoding="utf-8")
+        return io.TextIOWrapper(raw, encoding="utf-8")
+    except Exception:
+        raw.close()
+        raise
+
+
+def _parse_fields(source: str, line_number: int, bubble_text: str,
+                  op_text: str, addr_text: str,
+                  flags_text: Optional[str]) -> Tuple[int, int, int]:
+    """Validate one row's fields; returns ``(bubble, address, flag_byte)``."""
+
+    try:
+        bubble = int(bubble_text, 10)
+    except ValueError:
+        raise IngestError(source, line_number,
+                          f"bubble {bubble_text!r} is not a decimal integer")
+    if not 0 <= bubble <= MAX_BUBBLE:
+        raise IngestError(source, line_number,
+                          f"bubble {bubble} out of range [0, {MAX_BUBBLE}]")
+    op = op_text.strip().upper()
+    if op not in _OPCODES:
+        raise IngestError(source, line_number,
+                          f"op {op_text!r} is not L (load) or S (store)")
+    try:
+        address = int(addr_text, 0)
+    except ValueError:
+        raise IngestError(source, line_number,
+                          f"address {addr_text!r} is not a decimal/hex "
+                          "integer")
+    if not 0 <= address <= MAX_ADDRESS:
+        raise IngestError(source, line_number,
+                          f"address {addr_text!r} out of range "
+                          f"[0, {MAX_ADDRESS:#x}]")
+    flag = _OPCODES[op]
+    if flags_text is not None:
+        stripped = flags_text.strip()
+        if stripped != "-":
+            for letter in stripped:
+                if letter.upper() not in _FLAG_LETTERS:
+                    raise IngestError(
+                        source, line_number,
+                        f"unknown flag letter {letter!r} in "
+                        f"{flags_text!r} (known: "
+                        f"{''.join(sorted(_FLAG_LETTERS))}, or '-')")
+                flag |= _FLAG_LETTERS[letter.upper()]
+    return bubble, address, flag
+
+
+def _build_trace(rows: Iterator[Tuple[int, int, int]], name: str,
+                 source: str, loop: bool) -> Trace:
+    bubbles = array("q")
+    addresses = array("Q")
+    flags = bytearray()
+    for bubble, address, flag in rows:
+        bubbles.append(bubble)
+        addresses.append(address)
+        flags.append(flag)
+    if not bubbles:
+        raise IngestError(source, 1, "no trace rows (empty input)")
+    return Trace.from_columns(bubbles, addresses, flags, name=name,
+                              loop=loop)
+
+
+def parse_text(lines: Iterable[str], name: str = "ingested",
+               source: str = "<text>", loop: bool = True) -> Trace:
+    """Parse the line-oriented ``<bubble> <L|S> <addr> [flags]`` format."""
+
+    def rows() -> Iterator[Tuple[int, int, int]]:
+        for line_number, line in enumerate(lines, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            parts = stripped.split()
+            if not 3 <= len(parts) <= 4:
+                raise IngestError(
+                    source, line_number,
+                    f"expected '<bubble> <L|S> <addr> [flags]', got "
+                    f"{stripped!r}")
+            flags_text = parts[3] if len(parts) == 4 else None
+            yield _parse_fields(source, line_number, parts[0], parts[1],
+                                parts[2], flags_text)
+
+    return _build_trace(rows(), name, source, loop)
+
+
+def parse_csv(lines: Iterable[str], name: str = "ingested",
+              source: str = "<csv>", loop: bool = True) -> Trace:
+    """Parse the ``bubble,op,addr[,flags]`` CSV variant."""
+
+    def rows() -> Iterator[Tuple[int, int, int]]:
+        reader = csv.reader(lines)
+        for row in reader:
+            line_number = reader.line_num
+            cells = [cell.strip() for cell in row]
+            if not cells or not any(cells):
+                continue
+            if cells[0].startswith("#"):
+                continue
+            if line_number == 1 and cells[0].lower() == "bubble":
+                continue  # header row
+            if not 3 <= len(cells) <= 4:
+                raise IngestError(
+                    source, line_number,
+                    f"expected 3-4 columns (bubble,op,addr[,flags]), "
+                    f"got {len(cells)}: {','.join(cells)!r}")
+            flags_text = cells[3] if len(cells) == 4 and cells[3] else None
+            yield _parse_fields(source, line_number, cells[0], cells[1],
+                                cells[2], flags_text)
+
+    return _build_trace(rows(), name, source, loop)
+
+
+def read_trace(path: Path | str, name: Optional[str] = None,
+               format: Optional[str] = None, loop: bool = True) -> Trace:
+    """Read an external trace file into a columnar :class:`Trace`.
+
+    ``format=None`` infers from the file name (:func:`detect_format`);
+    gzip compression is always detected from content.  Truncated gzip
+    streams and undecodable bytes surface as :class:`IngestError` too, so
+    callers have one failure type for "this input is not ingestable".
+    """
+
+    path = Path(path)
+    format = format or detect_format(path)
+    if format not in INGEST_FORMATS:
+        raise ValueError(
+            f"unknown ingest format {format!r}; one of {INGEST_FORMATS}")
+    parser = parse_text if format == "text" else parse_csv
+    trace_name = name or path.name.partition(".")[0]
+    try:
+        with open_stream(path) as stream:
+            return parser(stream, name=trace_name, source=str(path),
+                          loop=loop)
+    except (EOFError, gzip.BadGzipFile, UnicodeDecodeError) as exc:
+        raise IngestError(str(path), 0,
+                          f"undecodable input ({exc})") from exc

@@ -13,6 +13,7 @@ crafted against specific DRAM rows.
 
 from __future__ import annotations
 
+import dataclasses
 from array import array
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
@@ -33,6 +34,23 @@ BENIGN_MIXES: List[str] = ["HHHH", "HHMM", "MMMM", "HHLL", "MMLL", "LLLL"]
 
 #: The paper's attack mixes (Fig. 6-12); ``A`` denotes the attacker.
 ATTACK_MIXES: List[str] = ["HHHA", "HHMA", "MMMA", "HLLA", "MMLA", "LLLA"]
+
+#: Attacker mix letters -> hammering geometry (``A`` is the paper's
+#: double-sided attacker; ``S`` and ``X`` place the many-sided and
+#: half-double pattern variants, see :data:`repro.workloads.attacker
+#: .ATTACK_PATTERNS`).
+ATTACKER_LETTERS: Dict[str, str] = {
+    "A": "double_sided",
+    "S": "many_sided",
+    "X": "half_double",
+}
+
+#: Short attacker-trace name tags, one per attacker letter (distinct names
+#: keep the per-trace standalone-IPC cache keys from aliasing).
+_ATTACKER_TAGS: Dict[str, str] = {"A": "", "S": "ms_", "X": "hd_"}
+
+#: Every letter :func:`make_mix` can place on a core.
+MIX_LETTER_SET = frozenset("HMLD") | frozenset(ATTACKER_LETTERS)
 
 
 @dataclass
@@ -91,28 +109,51 @@ def make_mix(
     """Build a four-core (or arbitrary-length) workload mix by name.
 
     ``name`` is a string of intensity letters (``H``, ``M``, ``L``) with an
-    optional trailing/embedded ``A`` for the attacker, e.g. ``"HHMA"``.
+    optional trailing/embedded attacker letter, e.g. ``"HHMA"``: ``A`` is
+    the paper's double-sided attacker, ``S`` the many-sided variant and
+    ``X`` the half-double variant (see :data:`ATTACKER_LETTERS`).
     A ``D`` places a DMA-style cache-bypassing streaming workload (see
     :mod:`repro.workloads.dma`) on that core; like benign cores it gets its
     own physical-memory region, and it is *not* an attacker thread.
     ``seed`` varies the benign traces so several instances of the same mix
     (the paper uses 15 per mix) are statistically distinct.
+
+    An ``"ingest:<name>[ x<cores>]"`` string instead loads copies of an
+    ingested catalog workload (:func:`repro.workloads.ingest.catalog_mix`).
+    Unknown letters are rejected here, up front, with the available
+    alphabet — not deep inside trace generation.
     """
+
+    from repro.workloads.ingest.catalog import catalog_mix, is_catalog_mix
+
+    if is_catalog_mix(name):
+        return catalog_mix(name, region_bytes=region_bytes)
+
+    unknown = set(name.upper()) - MIX_LETTER_SET
+    if unknown:
+        raise ValueError(
+            f"mix {name!r} uses unknown workload letters {sorted(unknown)}; "
+            f"available letters: {', '.join(sorted(MIX_LETTER_SET))} "
+            "(or an 'ingest:<name> x<cores>' catalog mix)"
+        )
 
     device = device or DeviceConfig.ddr5_4800(rows_per_bank=4096)
     traces: List[Trace] = []
     attacker_threads: List[int] = []
 
     for core_index, letter in enumerate(name.upper()):
-        if letter == "A":
+        if letter in ATTACKER_LETTERS:
+            pattern = ATTACKER_LETTERS[letter]
             config = attacker_config or AttackerConfig(
                 entries=attacker_entries, seed=seed
             )
+            if config.pattern != pattern:
+                config = dataclasses.replace(config, pattern=pattern)
             trace = generate_attacker_trace(
                 device=device,
                 config=config,
                 mapping=mapping,
-                name=f"attacker_{seed}",
+                name=f"attacker_{_ATTACKER_TAGS[letter]}{seed}",
             )
             attacker_threads.append(core_index)
             traces.append(trace)

@@ -41,7 +41,7 @@ class TestValidation:
         dict(nrh_sweep=(0,)),
         dict(seeds=()),
         dict(mechanisms=("para", "quantum_shield")),
-        dict(attack_mixes=("MMLX",)),          # unknown letter
+        dict(attack_mixes=("MMLQ",)),          # unknown letter
         dict(attack_mixes=("MMA",)),           # wrong core count
         dict(attack_mixes=("MMLL",)),          # no attacker
         dict(outlier_threshold=0.0),
